@@ -1,0 +1,11 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def emit(benchmark, result, **extra) -> None:
+    """Print the experiment table and attach headline numbers to the benchmark."""
+    table = result.format_table()
+    print("\n" + table)
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value

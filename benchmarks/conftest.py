@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark runs one experiment (one paper figure) exactly once under
+``pytest-benchmark`` timing, records the headline numbers in
+``benchmark.extra_info`` and prints the experiment's ASCII table so that a
+``pytest benchmarks/ --benchmark-only`` run regenerates the complete set of
+results recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the sibling _bench_utils module importable regardless of how pytest
+# was invoked (rootdir, installed package, etc.).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``func`` exactly once under benchmark timing and return its result."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

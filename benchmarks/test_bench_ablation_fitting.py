@@ -1,0 +1,64 @@
+"""Ablation: fitting strategy (plain ALS vs scipy-refined) and model variants.
+
+DESIGN.md calls out the replacement of the paper's Matlab nonlinear program
+with alternating least squares as a design choice worth ablating: the refined
+variant re-optimises f with a bounded scalar search, and the stable-f /
+time-varying variants trade extra degrees of freedom for fit quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_stable_f, fit_stable_fp, fit_time_varying
+from repro.experiments._common import get_dataset
+
+
+@pytest.fixture(scope="module")
+def fitting_week():
+    return get_dataset("geant", n_weeks=1, bins_per_week=96).week(0)
+
+
+def test_ablation_als_fit(benchmark, fitting_week):
+    fit = benchmark.pedantic(fit_stable_fp, args=(fitting_week,), rounds=1, iterations=1)
+    print(f"\nALS stable-fP: f={fit.forward_fraction:.3f} mean_error={fit.mean_error:.4f}")
+    benchmark.extra_info["mean_error"] = fit.mean_error
+    assert fit.mean_error < 1.0
+
+
+def test_ablation_refined_fit(benchmark, fitting_week):
+    fit = benchmark.pedantic(
+        fit_stable_fp, args=(fitting_week,), kwargs={"refine": True}, rounds=1, iterations=1
+    )
+    plain = fit_stable_fp(fitting_week)
+    print(
+        f"\nrefined stable-fP: f={fit.forward_fraction:.3f} mean_error={fit.mean_error:.4f} "
+        f"(plain ALS: {plain.mean_error:.4f})"
+    )
+    benchmark.extra_info["mean_error"] = fit.mean_error
+    benchmark.extra_info["plain_mean_error"] = plain.mean_error
+    assert fit.objective <= plain.objective + 1e-6
+
+
+def test_ablation_model_variant_ordering(benchmark, fitting_week):
+    """More flexible variants must fit at least as well (stable-fP >= stable-f >= time-varying error)."""
+
+    def run_all():
+        return (
+            fit_stable_fp(fitting_week),
+            fit_stable_f(fitting_week),
+            fit_time_varying(fitting_week),
+        )
+
+    stable_fp, stable_f, time_varying = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(
+        f"\nmean errors: stable-fP={stable_fp.mean_error:.4f} "
+        f"stable-f={stable_f.mean_error:.4f} time-varying={time_varying.mean_error:.4f}"
+    )
+    benchmark.extra_info["stable_fp_error"] = stable_fp.mean_error
+    benchmark.extra_info["stable_f_error"] = stable_f.mean_error
+    benchmark.extra_info["time_varying_error"] = time_varying.mean_error
+    assert stable_f.mean_error <= stable_fp.mean_error + 1e-3
+    assert time_varying.mean_error <= stable_f.mean_error + 1e-3
+    assert np.isfinite(time_varying.mean_error)

@@ -1,0 +1,26 @@
+"""Benchmark / regeneration of Figure 10 / Section 5.6: routing asymmetry.
+
+Paper shape: the simplified (single-f) IC model degrades as hot-potato
+routing makes f_ij asymmetric, while it still outperforms the gravity model;
+the general model (per-pair f_ij) is unaffected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _bench_utils import emit
+
+from repro.experiments.fig10_routing_asymmetry import run_routing_asymmetry
+
+
+def test_fig10_routing_asymmetry(benchmark, run_once):
+    result = run_once(run_routing_asymmetry)
+    emit(
+        benchmark,
+        result,
+        asymmetry_levels=[float(v) for v in result.asymmetry_levels],
+        simplified_errors=[float(v) for v in result.simplified_errors],
+        gravity_errors=[float(v) for v in result.gravity_errors],
+    )
+    assert result.simplified_errors[-1] > result.simplified_errors[0]
+    assert np.all(result.simplified_errors < result.gravity_errors)

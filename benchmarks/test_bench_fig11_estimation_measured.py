@@ -1,0 +1,25 @@
+"""Benchmark / regeneration of Figure 11: TM estimation, all IC parameters measured.
+
+Paper shape: with f, P and A(t) all measured, the IC prior gives the largest
+improvement over the gravity prior through the same tomogravity + IPF
+pipeline (paper: 10-20 % Geant, 20-30 % Totem).
+"""
+
+from __future__ import annotations
+
+import pytest
+from _bench_utils import emit
+
+from repro.experiments.fig11_estimation_measured import run_estimation_measured
+
+
+@pytest.mark.parametrize("dataset", ["geant", "totem"])
+def test_fig11_estimation_measured(benchmark, run_once, dataset):
+    result = run_once(run_estimation_measured, dataset)
+    emit(
+        benchmark,
+        result,
+        dataset=dataset,
+        mean_improvement_percent=result.mean_improvement,
+    )
+    assert result.mean_improvement > 0.0

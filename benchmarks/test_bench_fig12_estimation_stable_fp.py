@@ -1,0 +1,25 @@
+"""Benchmark / regeneration of Figure 12: TM estimation with the stable-fP prior.
+
+Paper shape: with f and P measured in a previous week and A(t) recovered from
+the current marginals (Eqs. 7-9), the IC prior still improves on the gravity
+prior by roughly 10-20 %.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _bench_utils import emit
+
+from repro.experiments.fig12_estimation_stable_fp import run_estimation_stable_fp
+
+
+@pytest.mark.parametrize("dataset", ["geant", "totem"])
+def test_fig12_estimation_stable_fp(benchmark, run_once, dataset):
+    result = run_once(run_estimation_stable_fp, dataset)
+    emit(
+        benchmark,
+        result,
+        dataset=dataset,
+        mean_improvement_percent=result.mean_improvement,
+    )
+    assert result.mean_improvement > 0.0

@@ -1,0 +1,24 @@
+"""Benchmark / regeneration of the Figure 2 worked example (Section 3)."""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+
+from repro.experiments.example_network import run_example_network
+
+
+def test_fig2_example_network(benchmark, run_once):
+    result = run_once(run_example_network)
+    emit(
+        benchmark,
+        result,
+        p_e_a_given_i_a=result.conditional_egress_given_ingress["A"],
+        p_e_a_given_i_b=result.conditional_egress_given_ingress["B"],
+        p_e_a_given_i_c=result.conditional_egress_given_ingress["C"],
+        p_e_a=result.marginal_egress,
+    )
+    # Paper values: 0.50, 0.93, 0.95 and 0.65.
+    assert abs(result.conditional_egress_given_ingress["A"] - 0.50) < 0.01
+    assert abs(result.conditional_egress_given_ingress["B"] - 0.93) < 0.01
+    assert abs(result.conditional_egress_given_ingress["C"] - 0.95) < 0.01
+    assert abs(result.marginal_egress - 0.65) < 0.01

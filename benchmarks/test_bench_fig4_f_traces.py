@@ -1,0 +1,28 @@
+"""Benchmark / regeneration of Figure 4: measuring f from bidirectional traces.
+
+Paper shape: f in the 0.2-0.3 range, similar in the two directions, stable
+over the 5-minute bins of the two-hour window, with <20 % unknown traffic.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+
+from repro.experiments.fig4_f_from_traces import run_f_from_traces
+
+
+def test_fig4_f_from_traces(benchmark, run_once):
+    result = run_once(run_f_from_traces)
+    mean_ab, mean_ba = result.mean_measured_f
+    emit(
+        benchmark,
+        result,
+        f_ipls_clev=mean_ab,
+        f_clev_ipls=mean_ba,
+        spatial_gap=result.measurement.spatial_gap(),
+        unknown_fraction=result.measurement.unknown_fraction,
+    )
+    assert 0.15 < mean_ab < 0.35
+    assert 0.15 < mean_ba < 0.35
+    assert result.measurement.spatial_gap() < 0.1
+    assert result.measurement.unknown_fraction < 0.2

@@ -1,0 +1,24 @@
+"""Benchmark / regeneration of Figure 5: stability of fitted f across weeks.
+
+Paper shape: the fitted f of seven consecutive Totem weeks is nearly
+constant and sits around 0.2.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+
+from repro.experiments.fig5_f_stability import run_f_stability
+
+
+def test_fig5_f_stability(benchmark, run_once):
+    result = run_once(run_f_stability, "totem", n_weeks=7)
+    emit(
+        benchmark,
+        result,
+        weekly_f=[float(value) for value in result.weekly_f],
+        coefficient_of_variation=result.stability.coefficient_of_variation,
+    )
+    assert result.weekly_f.shape == (7,)
+    assert result.stability.coefficient_of_variation < 0.15
+    assert all(0.05 < value < 0.45 for value in result.weekly_f)

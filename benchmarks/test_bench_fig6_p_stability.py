@@ -1,0 +1,27 @@
+"""Benchmark / regeneration of Figure 6: stability of fitted preferences across weeks.
+
+Paper shape: per-node preference values are nearly identical from week to
+week (3 weeks of Geant, 7 of Totem) while being highly variable across nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _bench_utils import emit
+
+from repro.experiments.fig6_preference_stability import run_preference_stability
+
+
+@pytest.mark.parametrize("dataset, n_weeks", [("geant", 3), ("totem", 7)])
+def test_fig6_preference_stability(benchmark, run_once, dataset, n_weeks):
+    result = run_once(run_preference_stability, dataset, n_weeks=n_weeks)
+    emit(
+        benchmark,
+        result,
+        dataset=dataset,
+        week_to_week_correlation=result.stability.week_to_week_correlation,
+        truth_correlation=result.truth_correlation,
+        spread_ratio=result.spread_ratio,
+    )
+    assert result.stability.week_to_week_correlation > 0.9
+    assert result.spread_ratio > 5.0

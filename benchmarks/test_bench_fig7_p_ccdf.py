@@ -1,0 +1,27 @@
+"""Benchmark / regeneration of Figure 7: preference CCDF and tail fits.
+
+Paper shape: the preference distribution is long-tailed; a lognormal fits
+its tail better than an exponential (paper MLE: mu ~ -4.3, sigma ~ 1.7).
+"""
+
+from __future__ import annotations
+
+import pytest
+from _bench_utils import emit
+
+from repro.experiments.fig7_preference_ccdf import run_preference_ccdf
+
+
+@pytest.mark.parametrize("dataset", ["geant", "totem"])
+def test_fig7_preference_ccdf(benchmark, run_once, dataset):
+    result = run_once(run_preference_ccdf, dataset)
+    lognormal = result.fits["lognormal"]
+    emit(
+        benchmark,
+        result,
+        dataset=dataset,
+        lognormal_mu=lognormal.parameters["mu"],
+        lognormal_sigma=lognormal.parameters["sigma"],
+        lognormal_preferred=result.lognormal_preferred,
+    )
+    assert result.lognormal_preferred

@@ -1,0 +1,27 @@
+"""Benchmark / regeneration of Figure 8: preference versus normalised egress counts.
+
+Paper shape: above the median traffic level, a node's egress volume is a poor
+predictor of its preference, and preference is uncorrelated with activity.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _bench_utils import emit
+
+from repro.experiments.fig8_preference_vs_egress import run_preference_vs_egress
+
+
+@pytest.mark.parametrize("dataset", ["geant", "totem"])
+def test_fig8_preference_vs_egress(benchmark, run_once, dataset):
+    result = run_once(run_preference_vs_egress, dataset)
+    emit(
+        benchmark,
+        result,
+        dataset=dataset,
+        correlation_all=result.correlation_all,
+        correlation_above_median=result.correlation_above_median,
+        preference_activity_correlation=result.preference_activity_correlation,
+    )
+    assert result.correlation_above_median < 0.95
+    assert abs(result.preference_activity_correlation) < 0.7

@@ -1,0 +1,28 @@
+"""Benchmark / regeneration of Figure 9: activity time series of large/medium/small nodes.
+
+Paper shape: fitted activity shows strong daily periodicity, reduced weekend
+levels and a more pronounced pattern for larger nodes.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+
+from repro.experiments.fig9_activity_timeseries import run_activity_timeseries
+
+
+def test_fig9_activity_timeseries(benchmark, run_once):
+    # A full week of 5-minute bins so both the daily period and the weekend
+    # dip are measurable.
+    result = run_once(run_activity_timeseries, "geant", bins_per_week=2016)
+    emit(
+        benchmark,
+        result,
+        diurnal_period_days=result.diurnal_period_days,
+        weekend_ratio_largest=result.weekend_ratios["largest"],
+        mean_largest=float(result.selected_series["largest"].mean()),
+        mean_smallest=float(result.selected_series["smallest"].mean()),
+    )
+    assert 0.7 < result.diurnal_period_days < 1.3
+    assert result.weekend_ratios["largest"] < 1.0
+    assert result.selected_series["largest"].mean() > result.selected_series["smallest"].mean()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+offline environments without the ``wheel`` package can still perform an
+editable install via ``pip install -e . --no-build-isolation`` (which falls
+back to the legacy ``setup.py develop`` path) or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

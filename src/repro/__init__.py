@@ -1,0 +1,95 @@
+"""Reproduction of "An Independent-Connection Model for Traffic Matrices".
+
+This package reimplements, from scratch, the independent-connection (IC)
+traffic-matrix model of Erramilli, Crovella and Taft (IMC 2006) together with
+every substrate the paper's evaluation depends on:
+
+* traffic-matrix containers and error metrics (:mod:`repro.core`),
+* the gravity-model baseline and the IC model family (general, simplified,
+  time-varying, stable-f and stable-fP variants),
+* parameter fitting by constrained optimisation,
+* priors for traffic-matrix estimation (measured, stable-fP pseudo-inverse and
+  stable-f closed form),
+* a PoP-level topology and routing substrate with routing-matrix construction
+  (:mod:`repro.topology`),
+* a tomogravity-style estimation pipeline with iterative proportional fitting
+  (:mod:`repro.estimation`),
+* a bidirectional packet/flow trace substrate implementing the paper's
+  f-measurement procedure (:mod:`repro.traces`),
+* synthetic traffic-matrix generation and dataset factories standing in for
+  the Geant, Totem and Abilene data (:mod:`repro.synthesis`),
+* parameter characterisation tools (:mod:`repro.characterization`), and
+* one experiment driver per figure of the paper (:mod:`repro.experiments`).
+
+The public API is re-exported here for convenience::
+
+    from repro import TrafficMatrixSeries, fit_stable_fp, gravity_series
+"""
+
+from repro.core.traffic_matrix import TrafficMatrix, TrafficMatrixSeries
+from repro.core.ic_model import (
+    GeneralICModel,
+    ICParameters,
+    SimplifiedICModel,
+    StableFICModel,
+    StableFPICModel,
+    TimeVaryingICModel,
+    degrees_of_freedom,
+    general_ic_matrix,
+    simplified_ic_matrix,
+)
+from repro.core.gravity import GravityModel, gravity_matrix, gravity_series
+from repro.core.metrics import (
+    mean_relative_error,
+    percent_improvement,
+    rel_l2_spatial_error,
+    rel_l2_temporal_error,
+)
+from repro.core.fitting import (
+    FitResult,
+    fit_stable_f,
+    fit_stable_fp,
+    fit_time_varying,
+)
+from repro.core.priors import (
+    GravityPrior,
+    MeasuredParameterPrior,
+    StableFPPrior,
+    StableFPrior,
+)
+from repro.errors import ReproError, ShapeError, ValidationError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TrafficMatrix",
+    "TrafficMatrixSeries",
+    "ICParameters",
+    "GeneralICModel",
+    "SimplifiedICModel",
+    "TimeVaryingICModel",
+    "StableFICModel",
+    "StableFPICModel",
+    "degrees_of_freedom",
+    "general_ic_matrix",
+    "simplified_ic_matrix",
+    "GravityModel",
+    "gravity_matrix",
+    "gravity_series",
+    "rel_l2_temporal_error",
+    "rel_l2_spatial_error",
+    "percent_improvement",
+    "mean_relative_error",
+    "FitResult",
+    "fit_stable_fp",
+    "fit_stable_f",
+    "fit_time_varying",
+    "GravityPrior",
+    "MeasuredParameterPrior",
+    "StableFPPrior",
+    "StableFPrior",
+    "ReproError",
+    "ShapeError",
+    "ValidationError",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Empirical characterisation of IC-model parameters (paper Section 5).
+
+* :mod:`repro.characterization.distributions` — CCDFs and maximum-likelihood
+  exponential / lognormal fits (Figure 7).
+* :mod:`repro.characterization.stability` — week-over-week stability metrics
+  for ``f`` and ``{P_i}`` (Figures 5, 6) and correlation diagnostics
+  (Figure 8; preference-versus-activity independence check).
+* :mod:`repro.characterization.activity_analysis` — periodicity and weekend
+  analysis of activity time series (Figure 9).
+"""
+
+from repro.characterization.distributions import (
+    DistributionFit,
+    empirical_ccdf,
+    fit_exponential,
+    fit_lognormal,
+    compare_tail_fits,
+)
+from repro.characterization.stability import (
+    correlation,
+    parameter_stability,
+    preference_stability,
+)
+from repro.characterization.activity_analysis import (
+    ActivitySummary,
+    analyze_activity,
+    dominant_period,
+    weekend_ratio,
+)
+
+__all__ = [
+    "DistributionFit",
+    "empirical_ccdf",
+    "fit_exponential",
+    "fit_lognormal",
+    "compare_tail_fits",
+    "parameter_stability",
+    "preference_stability",
+    "correlation",
+    "ActivitySummary",
+    "analyze_activity",
+    "dominant_period",
+    "weekend_ratio",
+]

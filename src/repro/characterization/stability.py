@@ -1,0 +1,111 @@
+"""Week-over-week stability metrics for IC-model parameters (Figures 5, 6, 8).
+
+The paper's argument for the stable-f and stable-fP model variants rests on
+two empirical observations: the fitted ``f`` values of successive weeks are
+nearly constant, and the fitted preference vectors are nearly identical from
+week to week (while being highly variable *across* nodes).  This module turns
+those observations into numbers: coefficients of variation, week-to-week
+correlations and relative changes, plus the correlation diagnostics used to
+argue that preference is not simply explained by egress volume (Figure 8) or
+by activity level (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_1d_array
+from repro.errors import ShapeError, ValidationError
+
+__all__ = ["StabilityReport", "parameter_stability", "preference_stability", "correlation"]
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Stability summary of a scalar or vector parameter across weeks.
+
+    Attributes
+    ----------
+    mean:
+        Mean value (scalar) or per-node mean (vector) across weeks.
+    coefficient_of_variation:
+        Std/mean across weeks (scalar), or the maximum across nodes of the
+        per-node std/mean (vector) — small values mean "stable in time".
+    max_relative_change:
+        Largest relative change between consecutive weeks.
+    week_to_week_correlation:
+        Mean Pearson correlation between consecutive weeks' vectors (1.0 for
+        scalars, where correlation is not meaningful).
+    """
+
+    mean: float | np.ndarray
+    coefficient_of_variation: float
+    max_relative_change: float
+    week_to_week_correlation: float
+
+
+def parameter_stability(values_per_week) -> StabilityReport:
+    """Stability of a scalar parameter (e.g. ``f``) across weeks."""
+    values = as_1d_array(values_per_week, "values_per_week")
+    if values.size < 2:
+        raise ValidationError("need at least two weeks to assess stability")
+    mean = float(values.mean())
+    std = float(values.std(ddof=0))
+    cov = std / mean if mean > 0 else np.inf
+    consecutive = np.abs(np.diff(values)) / np.maximum(np.abs(values[:-1]), 1e-12)
+    return StabilityReport(
+        mean=mean,
+        coefficient_of_variation=float(cov),
+        max_relative_change=float(consecutive.max()),
+        week_to_week_correlation=1.0,
+    )
+
+
+def preference_stability(preference_per_week) -> StabilityReport:
+    """Stability of a preference vector across weeks.
+
+    Parameters
+    ----------
+    preference_per_week:
+        Array of shape ``(weeks, n)``; each row a (normalised) preference
+        vector fitted to one week.
+    """
+    matrix = np.asarray(preference_per_week, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] < 2:
+        raise ShapeError("preference_per_week must have shape (weeks >= 2, n)")
+    per_node_mean = matrix.mean(axis=0)
+    per_node_std = matrix.std(axis=0, ddof=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_node_cov = np.where(per_node_mean > 0, per_node_std / np.where(per_node_mean > 0, per_node_mean, 1.0), 0.0)
+    consecutive_changes = []
+    correlations = []
+    for week in range(matrix.shape[0] - 1):
+        previous, current = matrix[week], matrix[week + 1]
+        denominator = np.maximum(previous, 1e-12)
+        consecutive_changes.append(float(np.max(np.abs(current - previous) / denominator)))
+        correlations.append(correlation(previous, current))
+    return StabilityReport(
+        mean=per_node_mean,
+        coefficient_of_variation=float(np.max(per_node_cov)),
+        max_relative_change=float(np.max(consecutive_changes)),
+        week_to_week_correlation=float(np.mean(correlations)),
+    )
+
+
+def correlation(x, y) -> float:
+    """Pearson correlation coefficient between two equal-length vectors.
+
+    Returns 0.0 when either vector is constant (correlation undefined), which
+    is the conservative choice for the independence arguments it supports.
+    """
+    x = as_1d_array(x, "x")
+    y = as_1d_array(y, "y", length=x.shape[0])
+    if x.size < 2:
+        raise ValidationError("correlation needs at least two points")
+    x_std = x.std(ddof=0)
+    y_std = y.std(ddof=0)
+    if x_std <= 0 or y_std <= 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])

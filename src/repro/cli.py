@@ -1,0 +1,85 @@
+"""Command-line entry point: run any experiment and print its table.
+
+Usage::
+
+    python -m repro.cli fig3 --dataset geant
+    python -m repro.cli fig11 --dataset totem --full-scale
+    python -m repro.cli all
+
+``all`` runs every experiment at the fast default scale and prints each
+table, which is a quick way to regenerate the complete set of results
+recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro.cli`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Run a reproduction experiment and print its result table.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment identifier (paper figure number) or 'all'",
+    )
+    parser.add_argument(
+        "--dataset",
+        choices=("geant", "totem"),
+        default=None,
+        help="dataset to use, for experiments that take one",
+    )
+    parser.add_argument(
+        "--full-scale",
+        action="store_true",
+        help="use paper-sized workloads (slower) where supported",
+    )
+    parser.add_argument(
+        "--bins-per-week",
+        type=int,
+        default=None,
+        help="override the number of time bins per week",
+    )
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> str:
+    runner = EXPERIMENTS[name]
+    signature = inspect.signature(runner)
+    kwargs = {}
+    if args.dataset is not None and "dataset" in signature.parameters:
+        kwargs["dataset"] = args.dataset
+    if "full_scale" in signature.parameters and args.full_scale:
+        kwargs["full_scale"] = True
+    if "bins_per_week" in signature.parameters and args.bins_per_week is not None:
+        kwargs["bins_per_week"] = args.bins_per_week
+    started = time.perf_counter()
+    result = runner(**kwargs)
+    elapsed = time.perf_counter() - started
+    header = f"=== {name} ({elapsed:.1f}s) ==="
+    return f"{header}\n{result.format_table()}\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the CLI; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(_run_one(name, args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,0 +1,370 @@
+"""The independent-connection (IC) model family (paper Section 3).
+
+The IC model describes an OD flow as the superposition of *forward* traffic
+(initiator to responder) and *reverse* traffic (responder to initiator) of the
+connections whose initiator sits at the origin or the destination:
+
+General IC model (Eq. 1)::
+
+    X_ij = f_ij * A_i * P_j / sum(P)  +  (1 - f_ji) * A_j * P_i / sum(P)
+
+Simplified IC model (Eq. 2): a single network-wide forward fraction ``f``.
+
+Temporal variants (Eqs. 3-5) restrict which parameters may vary with time:
+
+* time-varying  — ``f(t), A_i(t), P_i(t)`` all vary,
+* stable-f      — ``f`` fixed, ``A_i(t), P_i(t)`` vary,
+* stable-fP     — ``f`` and ``P_i`` fixed, only ``A_i(t)`` varies.
+
+This module provides plain functions (:func:`general_ic_matrix`,
+:func:`simplified_ic_matrix`) as the numerical workhorses and small model
+classes that bundle parameters with generation logic, plus the
+degrees-of-freedom accounting used in Section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import (
+    as_1d_array,
+    as_square_matrix,
+    normalized,
+    require_nonnegative,
+    require_positive_int,
+    require_probability,
+)
+from repro.core.traffic_matrix import TrafficMatrixSeries
+from repro.errors import ShapeError, ValidationError
+
+__all__ = [
+    "ICParameters",
+    "general_ic_matrix",
+    "simplified_ic_matrix",
+    "GeneralICModel",
+    "SimplifiedICModel",
+    "TimeVaryingICModel",
+    "StableFICModel",
+    "StableFPICModel",
+    "degrees_of_freedom",
+]
+
+
+# ---------------------------------------------------------------------------
+# numerical workhorses
+# ---------------------------------------------------------------------------
+
+def general_ic_matrix(forward_fraction, activity, preference) -> np.ndarray:
+    """Evaluate the general IC model (Eq. 1) for one time bin.
+
+    Parameters
+    ----------
+    forward_fraction:
+        ``(n, n)`` matrix of per-pair forward fractions ``f_ij`` in [0, 1].
+    activity:
+        Length-``n`` vector of activity levels ``A_i`` (bytes initiated at i).
+    preference:
+        Length-``n`` vector of preference values ``P_i``; normalised
+        internally so only relative magnitudes matter.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(n, n)`` traffic matrix predicted by the model.
+    """
+    f = as_square_matrix(forward_fraction, "forward_fraction")
+    if np.any(f < 0.0) or np.any(f > 1.0):
+        raise ValidationError("forward_fraction entries must lie in [0, 1]")
+    n = f.shape[0]
+    a = require_nonnegative(as_1d_array(activity, "activity", length=n), "activity")
+    p = require_nonnegative(as_1d_array(preference, "preference", length=n), "preference")
+    p = normalized(p, "preference")
+    forward = f * np.outer(a, p)
+    reverse = (1.0 - f.T) * np.outer(p, a)
+    return forward + reverse
+
+
+def simplified_ic_matrix(forward_fraction: float, activity, preference) -> np.ndarray:
+    """Evaluate the simplified IC model (Eq. 2) for one time bin.
+
+    Identical to :func:`general_ic_matrix` with a scalar network-wide ``f``.
+    """
+    f = require_probability(forward_fraction, "forward_fraction")
+    a = require_nonnegative(as_1d_array(activity, "activity"), "activity")
+    p = require_nonnegative(
+        as_1d_array(preference, "preference", length=a.shape[0]), "preference"
+    )
+    p = normalized(p, "preference")
+    return f * np.outer(a, p) + (1.0 - f) * np.outer(p, a)
+
+
+def simplified_ic_series(forward_fraction: float, activity_series, preference) -> np.ndarray:
+    """Vectorised simplified IC model over a ``(T, n)`` activity series.
+
+    Returns a ``(T, n, n)`` array; used by the stable-fP model and by the
+    fitting code where speed matters.
+    """
+    f = require_probability(forward_fraction, "forward_fraction")
+    a = np.asarray(activity_series, dtype=float)
+    if a.ndim == 1:
+        a = a[np.newaxis, :]
+    if a.ndim != 2:
+        raise ShapeError(f"activity_series must have shape (T, n), got {a.shape}")
+    p = require_nonnegative(
+        as_1d_array(preference, "preference", length=a.shape[1]), "preference"
+    )
+    p = normalized(p, "preference")
+    forward = f * np.einsum("ti,j->tij", a, p)
+    reverse = (1.0 - f) * np.einsum("tj,i->tij", a, p)
+    return forward + reverse
+
+
+# ---------------------------------------------------------------------------
+# parameter container
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ICParameters:
+    """A complete parameterisation of the simplified IC model at one instant.
+
+    Attributes
+    ----------
+    forward_fraction:
+        Network-wide forward fraction ``f``.
+    preference:
+        Normalised preference vector ``P`` (sums to one).
+    activity:
+        Activity vector ``A`` in bytes per bin.
+    """
+
+    forward_fraction: float
+    preference: np.ndarray
+    activity: np.ndarray
+    nodes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self):
+        f = require_probability(self.forward_fraction, "forward_fraction")
+        p = require_nonnegative(as_1d_array(self.preference, "preference"), "preference")
+        p = normalized(p, "preference")
+        a = require_nonnegative(
+            as_1d_array(self.activity, "activity", length=p.shape[0]), "activity"
+        )
+        object.__setattr__(self, "forward_fraction", f)
+        object.__setattr__(self, "preference", p)
+        object.__setattr__(self, "activity", a)
+        if self.nodes and len(self.nodes) != p.shape[0]:
+            raise ShapeError("nodes must match the parameter dimension")
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of access points."""
+        return self.preference.shape[0]
+
+    def matrix(self) -> np.ndarray:
+        """The traffic matrix implied by these parameters."""
+        return simplified_ic_matrix(self.forward_fraction, self.activity, self.preference)
+
+
+# ---------------------------------------------------------------------------
+# model classes
+# ---------------------------------------------------------------------------
+
+class GeneralICModel:
+    """General IC model with a full ``f_ij`` matrix and fixed preferences.
+
+    Activity is supplied per call, which matches the paper's framing where
+    activity is the (only) intrinsically time-varying quantity.
+    """
+
+    def __init__(self, forward_fraction, preference, nodes: Sequence[str] | None = None):
+        f = as_square_matrix(forward_fraction, "forward_fraction")
+        if np.any(f < 0.0) or np.any(f > 1.0):
+            raise ValidationError("forward_fraction entries must lie in [0, 1]")
+        self._forward = f
+        p = require_nonnegative(
+            as_1d_array(preference, "preference", length=f.shape[0]), "preference"
+        )
+        self._preference = normalized(p, "preference")
+        self._nodes = tuple(nodes) if nodes is not None else tuple(
+            f"node{i:02d}" for i in range(f.shape[0])
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        return self._forward.shape[0]
+
+    @property
+    def forward_fraction(self) -> np.ndarray:
+        return self._forward.copy()
+
+    @property
+    def preference(self) -> np.ndarray:
+        return self._preference.copy()
+
+    def matrix(self, activity) -> np.ndarray:
+        """Traffic matrix for one time bin with the given activity vector."""
+        return general_ic_matrix(self._forward, activity, self._preference)
+
+    def series(self, activity_series, *, bin_seconds: float = 300.0) -> TrafficMatrixSeries:
+        """Traffic-matrix series for a ``(T, n)`` activity series."""
+        a = np.atleast_2d(np.asarray(activity_series, dtype=float))
+        matrices = np.stack([self.matrix(a[t]) for t in range(a.shape[0])])
+        return TrafficMatrixSeries(matrices, self._nodes, bin_seconds=bin_seconds)
+
+
+class SimplifiedICModel:
+    """Simplified IC model: scalar ``f``, fixed preferences, activity per call."""
+
+    def __init__(self, forward_fraction: float, preference, nodes: Sequence[str] | None = None):
+        self._forward = require_probability(forward_fraction, "forward_fraction")
+        p = require_nonnegative(as_1d_array(preference, "preference"), "preference")
+        self._preference = normalized(p, "preference")
+        self._nodes = tuple(nodes) if nodes is not None else tuple(
+            f"node{i:02d}" for i in range(self._preference.shape[0])
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        return self._preference.shape[0]
+
+    @property
+    def forward_fraction(self) -> float:
+        return self._forward
+
+    @property
+    def preference(self) -> np.ndarray:
+        return self._preference.copy()
+
+    def matrix(self, activity) -> np.ndarray:
+        """Traffic matrix for one time bin with the given activity vector."""
+        return simplified_ic_matrix(self._forward, activity, self._preference)
+
+    def series(self, activity_series, *, bin_seconds: float = 300.0) -> TrafficMatrixSeries:
+        """Traffic-matrix series for a ``(T, n)`` activity series (vectorised)."""
+        matrices = simplified_ic_series(self._forward, activity_series, self._preference)
+        return TrafficMatrixSeries(matrices, self._nodes, bin_seconds=bin_seconds)
+
+
+class StableFPICModel(SimplifiedICModel):
+    """Stable-fP IC model (Eq. 5): ``f`` and ``P`` fixed, ``A_i(t)`` varies.
+
+    This is behaviourally the same as :class:`SimplifiedICModel`; the separate
+    class exists to make the modelling assumption explicit in user code and to
+    carry the model's degrees-of-freedom accounting.
+    """
+
+    name = "stable-fP"
+
+    def degrees_of_freedom(self, timesteps: int) -> int:
+        """Inputs needed to describe ``timesteps`` bins: ``n*t + n + 1``."""
+        return degrees_of_freedom(self.name, self.n_nodes, timesteps)
+
+
+class StableFICModel:
+    """Stable-f IC model (Eq. 4): ``f`` fixed; ``A_i(t)`` and ``P_i(t)`` vary."""
+
+    name = "stable-f"
+
+    def __init__(self, forward_fraction: float, nodes: Sequence[str] | None = None):
+        self._forward = require_probability(forward_fraction, "forward_fraction")
+        self._nodes = tuple(nodes) if nodes is not None else None
+
+    @property
+    def forward_fraction(self) -> float:
+        return self._forward
+
+    def matrix(self, activity, preference) -> np.ndarray:
+        """Traffic matrix for one bin from that bin's activity and preference."""
+        return simplified_ic_matrix(self._forward, activity, preference)
+
+    def series(
+        self, activity_series, preference_series, *, bin_seconds: float = 300.0
+    ) -> TrafficMatrixSeries:
+        """Series from per-bin activity ``(T, n)`` and preference ``(T, n)``."""
+        a = np.atleast_2d(np.asarray(activity_series, dtype=float))
+        p = np.atleast_2d(np.asarray(preference_series, dtype=float))
+        if a.shape != p.shape:
+            raise ShapeError(
+                f"activity and preference series must match, got {a.shape} vs {p.shape}"
+            )
+        matrices = np.stack(
+            [simplified_ic_matrix(self._forward, a[t], p[t]) for t in range(a.shape[0])]
+        )
+        nodes = self._nodes
+        return TrafficMatrixSeries(matrices, nodes, bin_seconds=bin_seconds)
+
+    def degrees_of_freedom(self, n_nodes: int, timesteps: int) -> int:
+        """Inputs needed for ``timesteps`` bins: ``2*n*t + 1``."""
+        return degrees_of_freedom(self.name, n_nodes, timesteps)
+
+
+class TimeVaryingICModel:
+    """Time-varying IC model (Eq. 3): ``f(t)``, ``A_i(t)`` and ``P_i(t)`` all vary."""
+
+    name = "time-varying"
+
+    def __init__(self, nodes: Sequence[str] | None = None):
+        self._nodes = tuple(nodes) if nodes is not None else None
+
+    def matrix(self, forward_fraction: float, activity, preference) -> np.ndarray:
+        """Traffic matrix for one bin from that bin's complete parameter set."""
+        return simplified_ic_matrix(forward_fraction, activity, preference)
+
+    def series(
+        self,
+        forward_series,
+        activity_series,
+        preference_series,
+        *,
+        bin_seconds: float = 300.0,
+    ) -> TrafficMatrixSeries:
+        """Series from per-bin ``f(t)``, ``A(t)`` and ``P(t)``."""
+        f = np.atleast_1d(np.asarray(forward_series, dtype=float))
+        a = np.atleast_2d(np.asarray(activity_series, dtype=float))
+        p = np.atleast_2d(np.asarray(preference_series, dtype=float))
+        if not (f.shape[0] == a.shape[0] == p.shape[0]):
+            raise ShapeError("f, activity and preference series must have the same length")
+        if a.shape != p.shape:
+            raise ShapeError(
+                f"activity and preference series must match, got {a.shape} vs {p.shape}"
+            )
+        matrices = np.stack(
+            [simplified_ic_matrix(float(f[t]), a[t], p[t]) for t in range(a.shape[0])]
+        )
+        return TrafficMatrixSeries(matrices, self._nodes, bin_seconds=bin_seconds)
+
+    def degrees_of_freedom(self, n_nodes: int, timesteps: int) -> int:
+        """Inputs needed for ``timesteps`` bins: ``3*n*t``."""
+        return degrees_of_freedom(self.name, n_nodes, timesteps)
+
+
+# ---------------------------------------------------------------------------
+# degrees of freedom (Section 5.1)
+# ---------------------------------------------------------------------------
+
+_DOF_FORMULAS = {
+    "gravity": lambda n, t: 2 * n * t - 1,
+    "time-varying": lambda n, t: 3 * n * t,
+    "stable-f": lambda n, t: 2 * n * t + 1,
+    "stable-fP": lambda n, t: n * t + n + 1,
+}
+
+
+def degrees_of_freedom(model: str, n_nodes: int, timesteps: int) -> int:
+    """Degrees of freedom (model inputs) for ``timesteps`` bins of an ``n``-node network.
+
+    The formulas are quoted directly from Section 5.1 of the paper:
+    gravity ``2nt - 1``, time-varying IC ``3nt``, stable-f ``2nt + 1`` and
+    stable-fP ``nt + n + 1``.
+    """
+    n = require_positive_int(n_nodes, "n_nodes")
+    t = require_positive_int(timesteps, "timesteps")
+    key = str(model)
+    if key not in _DOF_FORMULAS:
+        raise ValidationError(
+            f"unknown model {model!r}; expected one of {sorted(_DOF_FORMULAS)}"
+        )
+    return int(_DOF_FORMULAS[key](n, t))

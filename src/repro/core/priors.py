@@ -1,0 +1,280 @@
+"""Priors for traffic-matrix estimation (paper Section 6).
+
+TM estimation (Section 6) follows a three-step blueprint: build a prior
+traffic matrix, refine it against the link counts (tomogravity-style least
+squares), then apply iterative proportional fitting.  This module implements
+the *prior* builders; the refinement steps live in :mod:`repro.estimation`.
+
+Four priors are provided, ordered by how much side information they assume:
+
+* :class:`MeasuredParameterPrior` (Section 6.1) — ``f``, ``{P_i}`` and
+  ``{A_i(t)}`` are all measured (in practice: fitted to the same week).
+* :class:`StableFPPrior` (Section 6.2) — ``f`` and ``{P_i}`` come from a
+  previous calibration week; ``{A_i(t)}`` is recovered from the current
+  ingress/egress counts with the pseudo-inverse construction of Eqs. 7-9
+  (matrices Φ, H, G, Q).
+* :class:`StableFPrior` (Section 6.3) — only ``f`` is known; ``{A_i}`` and
+  ``{P_i}`` are recovered per bin from the marginals via the closed forms of
+  Eqs. 11-12.
+* :class:`GravityPrior` — the gravity baseline used for comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    as_1d_array,
+    normalized,
+    require_nonnegative,
+    require_probability,
+)
+from repro.core.gravity import gravity_matrix
+from repro.core.ic_model import simplified_ic_matrix, simplified_ic_series
+from repro.core.traffic_matrix import TrafficMatrixSeries
+from repro.errors import ShapeError, ValidationError
+
+__all__ = [
+    "GravityPrior",
+    "MeasuredParameterPrior",
+    "StableFPPrior",
+    "StableFPrior",
+    "ic_design_matrix",
+    "marginal_operators",
+    "estimate_activity_from_marginals",
+    "stable_f_closed_form",
+]
+
+
+# ---------------------------------------------------------------------------
+# linear-algebra building blocks (Eqs. 7-9)
+# ---------------------------------------------------------------------------
+
+def ic_design_matrix(forward_fraction: float, preference) -> np.ndarray:
+    """The ``(n^2, n)`` matrix Φ mapping an activity vector to a vectorised TM.
+
+    With the stable-fP model, ``vec(X) = Φ A`` where
+    ``Φ[(i, j), k] = f P_j δ_ik + (1 - f) P_i δ_jk`` (row-major OD ordering).
+    """
+    f = require_probability(forward_fraction, "forward_fraction")
+    p = require_nonnegative(as_1d_array(preference, "preference"), "preference")
+    p = normalized(p, "preference")
+    n = p.shape[0]
+    phi = np.zeros((n * n, n))
+    rows_i, rows_j = np.divmod(np.arange(n * n), n)
+    phi[np.arange(n * n), rows_i] += f * p[rows_j]
+    phi[np.arange(n * n), rows_j] += (1.0 - f) * p[rows_i]
+    return phi
+
+
+def marginal_operators(n_nodes: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The 0-1 matrices ``H``, ``G`` and the stacked ``Q`` of Section 6.2.
+
+    ``H`` (``n x n^2``) sums a vectorised TM into ingress counts, ``G`` into
+    egress counts, and ``Q = [H; G]`` maps it onto the observable marginals.
+    """
+    if n_nodes < 1:
+        raise ValidationError("n_nodes must be >= 1")
+    n = int(n_nodes)
+    h = np.zeros((n, n * n))
+    g = np.zeros((n, n * n))
+    pairs = np.arange(n * n)
+    origins, destinations = np.divmod(pairs, n)
+    h[origins, pairs] = 1.0
+    g[destinations, pairs] = 1.0
+    return h, g, np.vstack([h, g])
+
+
+def estimate_activity_from_marginals(
+    forward_fraction: float, preference, ingress, egress
+) -> np.ndarray:
+    """Recover per-bin activity from ingress/egress counts (Eq. 8).
+
+    Solves ``Ã = pinv(QΦ) [ingress; egress]`` in the least-squares sense and
+    clips the result to be non-negative.  Accepts either single-bin vectors of
+    length ``n`` or ``(T, n)`` series; the return shape mirrors the input.
+    """
+    ingress = np.asarray(ingress, dtype=float)
+    egress = np.asarray(egress, dtype=float)
+    single = ingress.ndim == 1
+    ingress = np.atleast_2d(ingress)
+    egress = np.atleast_2d(egress)
+    if ingress.shape != egress.shape:
+        raise ShapeError(
+            f"ingress and egress must have the same shape, got {ingress.shape} vs {egress.shape}"
+        )
+    p = as_1d_array(preference, "preference", length=ingress.shape[1])
+    phi = ic_design_matrix(forward_fraction, p)
+    _, _, q = marginal_operators(p.shape[0])
+    q_phi = q @ phi
+    pinv = np.linalg.pinv(q_phi)
+    marginals = np.concatenate([ingress, egress], axis=1)  # (T, 2n)
+    activity = marginals @ pinv.T
+    activity = np.clip(activity, 0.0, None)
+    return activity[0] if single else activity
+
+
+def stable_f_closed_form(forward_fraction: float, ingress, egress) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form activity and preference from marginals (Eqs. 11-12).
+
+    ``A_i = (f X_i* - (1-f) X_*i) / (2f - 1)`` and
+    ``P_i ∝ (f X_*i - (1-f) X_i*) / (2f - 1)``.
+
+    The construction is singular at ``f = 0.5`` (both directions of a
+    connection carry the same volume, so the marginals carry no information
+    about who initiated); a :class:`ValidationError` is raised near that point.
+    Negative intermediate values — which arise from measurement noise — are
+    clipped to zero, and the preference vector is normalised to sum to one.
+    """
+    f = require_probability(forward_fraction, "forward_fraction")
+    if abs(2.0 * f - 1.0) < 1e-3:
+        raise ValidationError(
+            "stable-f closed form is singular at f = 0.5; measure f away from 0.5"
+        )
+    ingress = np.asarray(ingress, dtype=float)
+    egress = np.asarray(egress, dtype=float)
+    if ingress.shape != egress.shape:
+        raise ShapeError(
+            f"ingress and egress must have the same shape, got {ingress.shape} vs {egress.shape}"
+        )
+    denominator = 2.0 * f - 1.0
+    activity = (f * ingress - (1.0 - f) * egress) / denominator
+    preference_raw = (f * egress - (1.0 - f) * ingress) / denominator
+    activity = np.clip(activity, 0.0, None)
+    preference_raw = np.clip(preference_raw, 0.0, None)
+    sums = preference_raw.sum(axis=-1, keepdims=True)
+    safe = np.where(sums > 0, sums, 1.0)
+    preference = np.where(sums > 0, preference_raw / safe, 1.0 / ingress.shape[-1])
+    return activity, preference
+
+
+# ---------------------------------------------------------------------------
+# prior classes
+# ---------------------------------------------------------------------------
+
+class GravityPrior:
+    """Gravity-model prior built from per-bin ingress/egress counts."""
+
+    name = "gravity"
+
+    def series(self, ingress, egress, *, nodes=None, bin_seconds: float = 300.0) -> TrafficMatrixSeries:
+        """Prior series from ``(T, n)`` ingress and egress counts."""
+        ingress = np.atleast_2d(np.asarray(ingress, dtype=float))
+        egress = np.atleast_2d(np.asarray(egress, dtype=float))
+        if ingress.shape != egress.shape:
+            raise ShapeError("ingress and egress series must have the same shape")
+        matrices = np.stack(
+            [gravity_matrix(ingress[t], egress[t]) for t in range(ingress.shape[0])]
+        )
+        return TrafficMatrixSeries(matrices, nodes, bin_seconds=bin_seconds)
+
+
+class MeasuredParameterPrior:
+    """Section 6.1 prior: all IC parameters are measured/known.
+
+    Typically the parameters come from a :class:`repro.core.fitting.FitResult`
+    on the same week of data ("thought experiment" bounding the achievable
+    gain), or from direct per-access-point measurement infrastructure.
+    """
+
+    name = "ic-measured"
+
+    def __init__(self, forward_fraction: float, preference, activity):
+        self._forward = require_probability(forward_fraction, "forward_fraction")
+        p = require_nonnegative(as_1d_array(preference, "preference"), "preference")
+        self._preference = normalized(p, "preference")
+        activity = np.asarray(activity, dtype=float)
+        if activity.ndim == 1:
+            activity = activity[np.newaxis, :]
+        if activity.ndim != 2 or activity.shape[1] != self._preference.shape[0]:
+            raise ShapeError(
+                f"activity must have shape (T, n={self._preference.shape[0]}), got {activity.shape}"
+            )
+        self._activity = np.clip(activity, 0.0, None)
+
+    @classmethod
+    def from_fit(cls, fit) -> "MeasuredParameterPrior":
+        """Build the prior directly from a stable-fP :class:`FitResult`."""
+        if fit.model != "stable-fP":
+            raise ValidationError("MeasuredParameterPrior.from_fit expects a stable-fP fit")
+        return cls(float(fit.forward_fraction), fit.preference, fit.activity)
+
+    def series(self, *, nodes=None, bin_seconds: float = 300.0) -> TrafficMatrixSeries:
+        """The prior traffic-matrix series implied by the measured parameters."""
+        matrices = simplified_ic_series(self._forward, self._activity, self._preference)
+        return TrafficMatrixSeries(matrices, nodes, bin_seconds=bin_seconds)
+
+
+class StableFPPrior:
+    """Section 6.2 prior: ``f`` and ``P`` from a calibration week, ``A(t)`` inferred.
+
+    The activity series of the target week is recovered from its ingress and
+    egress counts using the pseudo-inverse construction of Eqs. 7-9.
+    """
+
+    name = "ic-stable-fP"
+
+    def __init__(self, forward_fraction: float, preference):
+        self._forward = require_probability(forward_fraction, "forward_fraction")
+        p = require_nonnegative(as_1d_array(preference, "preference"), "preference")
+        self._preference = normalized(p, "preference")
+
+    @classmethod
+    def from_fit(cls, fit) -> "StableFPPrior":
+        """Calibrate the prior from a stable-fP fit of a previous week."""
+        if fit.model != "stable-fP":
+            raise ValidationError("StableFPPrior.from_fit expects a stable-fP fit")
+        return cls(float(fit.forward_fraction), fit.preference)
+
+    @property
+    def forward_fraction(self) -> float:
+        return self._forward
+
+    @property
+    def preference(self) -> np.ndarray:
+        return self._preference.copy()
+
+    def estimate_activity(self, ingress, egress) -> np.ndarray:
+        """Recover the activity series from the target week's marginals (Eq. 8)."""
+        return estimate_activity_from_marginals(self._forward, self._preference, ingress, egress)
+
+    def series(self, ingress, egress, *, nodes=None, bin_seconds: float = 300.0) -> TrafficMatrixSeries:
+        """Prior series for a target week given its ``(T, n)`` marginal counts (Eq. 9)."""
+        activity = self.estimate_activity(ingress, egress)
+        activity = np.atleast_2d(activity)
+        matrices = simplified_ic_series(self._forward, activity, self._preference)
+        return TrafficMatrixSeries(matrices, nodes, bin_seconds=bin_seconds)
+
+
+class StableFPrior:
+    """Section 6.3 prior: only ``f`` is known; ``A`` and ``P`` from marginals per bin."""
+
+    name = "ic-stable-f"
+
+    def __init__(self, forward_fraction: float):
+        self._forward = require_probability(forward_fraction, "forward_fraction")
+        if abs(2.0 * self._forward - 1.0) < 1e-3:
+            raise ValidationError("stable-f prior is undefined at f = 0.5")
+
+    @property
+    def forward_fraction(self) -> float:
+        return self._forward
+
+    def estimate_parameters(self, ingress, egress) -> tuple[np.ndarray, np.ndarray]:
+        """Per-bin activity and preference estimates (Eqs. 11-12)."""
+        return stable_f_closed_form(self._forward, ingress, egress)
+
+    def series(self, ingress, egress, *, nodes=None, bin_seconds: float = 300.0) -> TrafficMatrixSeries:
+        """Prior series built bin-by-bin from the marginal counts."""
+        ingress = np.atleast_2d(np.asarray(ingress, dtype=float))
+        egress = np.atleast_2d(np.asarray(egress, dtype=float))
+        activity, preference = stable_f_closed_form(self._forward, ingress, egress)
+        matrices = np.stack(
+            [
+                simplified_ic_matrix(self._forward, activity[t], preference[t])
+                if preference[t].sum() > 0
+                else np.zeros((ingress.shape[1], ingress.shape[1]))
+                for t in range(ingress.shape[0])
+            ]
+        )
+        return TrafficMatrixSeries(matrices, nodes, bin_seconds=bin_seconds)

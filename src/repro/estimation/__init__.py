@@ -1,0 +1,34 @@
+"""Traffic-matrix estimation substrate (paper Section 6).
+
+The estimation blueprint the paper follows has three steps:
+
+1. build a prior traffic matrix (:mod:`repro.core.priors`),
+2. refine it against the SNMP link counts with a least-squares step
+   (the *tomogravity* method of Zhang et al., reimplemented in
+   :mod:`repro.estimation.tomogravity`),
+3. run iterative proportional fitting so the estimate matches the observed
+   ingress/egress totals (:mod:`repro.estimation.ipf`).
+
+:mod:`repro.estimation.linear_system` simulates the link-count measurements
+(``Y = R x``) from a ground-truth traffic matrix and a routing matrix, and
+:mod:`repro.estimation.pipeline` wires everything into the end-to-end
+estimator used by the Figure 11-13 experiments.  An entropy-regularised
+refinement (after the information-theoretic approach the paper cites) is
+available in :mod:`repro.estimation.entropy` as an alternative step 2.
+"""
+
+from repro.estimation.linear_system import LinkLoadSystem, simulate_link_loads
+from repro.estimation.tomogravity import tomogravity_estimate
+from repro.estimation.ipf import iterative_proportional_fitting
+from repro.estimation.entropy import entropy_estimate
+from repro.estimation.pipeline import EstimationResult, TMEstimator
+
+__all__ = [
+    "LinkLoadSystem",
+    "simulate_link_loads",
+    "tomogravity_estimate",
+    "iterative_proportional_fitting",
+    "entropy_estimate",
+    "EstimationResult",
+    "TMEstimator",
+]

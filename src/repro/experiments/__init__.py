@@ -1,0 +1,56 @@
+"""Experiment drivers: one module per figure of the paper's evaluation.
+
+Every experiment exposes a ``run_*`` function taking keyword parameters with
+fast defaults (reduced bin counts) and a ``full_scale`` switch for the
+paper-sized workload.  Results are small dataclasses with a ``format_table()``
+method producing the ASCII equivalent of the paper's figure, so the benchmark
+harness and the CLI can print directly comparable output.
+
+The :data:`EXPERIMENTS` registry maps experiment identifiers (``"fig3"``,
+``"fig11"``, ...) to their run functions; ``python -m repro.cli <id>`` runs
+one from the command line.
+"""
+
+from repro.experiments.example_network import run_example_network
+from repro.experiments.fig3_model_fit import run_model_fit
+from repro.experiments.fig4_f_from_traces import run_f_from_traces
+from repro.experiments.fig5_f_stability import run_f_stability
+from repro.experiments.fig6_preference_stability import run_preference_stability
+from repro.experiments.fig7_preference_ccdf import run_preference_ccdf
+from repro.experiments.fig8_preference_vs_egress import run_preference_vs_egress
+from repro.experiments.fig9_activity_timeseries import run_activity_timeseries
+from repro.experiments.fig10_routing_asymmetry import run_routing_asymmetry
+from repro.experiments.fig11_estimation_measured import run_estimation_measured
+from repro.experiments.fig12_estimation_stable_fp import run_estimation_stable_fp
+from repro.experiments.fig13_estimation_stable_f import run_estimation_stable_f
+
+EXPERIMENTS = {
+    "fig2": run_example_network,
+    "fig3": run_model_fit,
+    "fig4": run_f_from_traces,
+    "fig5": run_f_stability,
+    "fig6": run_preference_stability,
+    "fig7": run_preference_ccdf,
+    "fig8": run_preference_vs_egress,
+    "fig9": run_activity_timeseries,
+    "fig10": run_routing_asymmetry,
+    "fig11": run_estimation_measured,
+    "fig12": run_estimation_stable_fp,
+    "fig13": run_estimation_stable_f,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_example_network",
+    "run_model_fit",
+    "run_f_from_traces",
+    "run_f_stability",
+    "run_preference_stability",
+    "run_preference_ccdf",
+    "run_preference_vs_egress",
+    "run_activity_timeseries",
+    "run_routing_asymmetry",
+    "run_estimation_measured",
+    "run_estimation_stable_fp",
+    "run_estimation_stable_f",
+]

@@ -1,0 +1,88 @@
+"""Shared helpers for the experiment drivers.
+
+The experiments repeatedly need (a) the synthetic stand-in datasets at a
+chosen scale and (b) simple ASCII table formatting.  Dataset construction is
+memoised because several experiments (and several benchmarks in one pytest
+session) use the same weeks.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from repro.synthesis.datasets import (
+    SyntheticDataset,
+    make_geant_like_dataset,
+    make_totem_like_dataset,
+)
+
+__all__ = ["get_dataset", "format_rows", "format_series_summary"]
+
+
+@lru_cache(maxsize=8)
+def get_dataset(
+    name: str,
+    *,
+    n_weeks: int,
+    bins_per_week: int | None = None,
+    full_scale: bool = False,
+    seed: int | None = None,
+) -> SyntheticDataset:
+    """Return (and cache) one of the synthetic stand-in datasets.
+
+    Parameters
+    ----------
+    name:
+        ``"geant"`` or ``"totem"``.
+    n_weeks, bins_per_week, full_scale, seed:
+        Passed through to the dataset factory; ``seed=None`` keeps the
+        factory default.
+    """
+    if name == "geant":
+        kwargs = {"bins_per_week": bins_per_week, "full_scale": full_scale}
+        if seed is not None:
+            kwargs["seed"] = seed
+        return make_geant_like_dataset(n_weeks, **kwargs)
+    if name == "totem":
+        kwargs = {"bins_per_week": bins_per_week, "full_scale": full_scale}
+        if seed is not None:
+            kwargs["seed"] = seed
+        return make_totem_like_dataset(n_weeks, **kwargs)
+    raise ValueError(f"unknown dataset {name!r}; expected 'geant' or 'totem'")
+
+
+def format_rows(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple fixed-width ASCII table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in text_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    line = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(value.ljust(widths[i]) for i, value in enumerate(row)) for row in text_rows
+    ]
+    return "\n".join([line, separator, *body])
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series_summary(label: str, values) -> str:
+    """One-line min/mean/max summary of a numeric series."""
+    import numpy as np
+
+    array = np.asarray(values, dtype=float)
+    finite = array[np.isfinite(array)]
+    if finite.size == 0:
+        return f"{label}: (no finite values)"
+    return (
+        f"{label}: min={finite.min():.3g} mean={finite.mean():.3g} "
+        f"median={np.median(finite):.3g} max={finite.max():.3g}"
+    )

@@ -1,0 +1,137 @@
+"""Shared machinery for the TM-estimation experiments (Figures 11-13).
+
+All three experiments follow the same protocol:
+
+1. take a calibration week and a target week from a dataset,
+2. simulate the target week's measurements (link loads + marginals) over the
+   dataset's topology,
+3. build the gravity prior and one IC prior from whatever side information
+   the scenario allows,
+4. run the identical tomogravity + IPF pipeline with each prior,
+5. report the per-bin percentage improvement of the IC-prior estimate over
+   the gravity-prior estimate.
+
+Only step 3 differs between the figures, so it is passed in as a callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.metrics import percent_improvement, summarize_improvement
+from repro.core.priors import GravityPrior
+from repro.core.traffic_matrix import TrafficMatrixSeries
+from repro.estimation.linear_system import LinkLoadSystem, simulate_link_loads
+from repro.estimation.pipeline import TMEstimator
+from repro.experiments._common import format_rows
+from repro.synthesis.datasets import SyntheticDataset
+
+__all__ = ["EstimationComparison", "run_prior_comparison"]
+
+
+@dataclass(frozen=True)
+class EstimationComparison:
+    """Comparison of an IC prior against the gravity prior through the same pipeline.
+
+    Attributes
+    ----------
+    dataset:
+        Which dataset was used.
+    scenario:
+        Short name of the IC prior scenario (``"measured"``, ``"stable-fP"``,
+        ``"stable-f"``).
+    improvement:
+        Per-bin percentage improvement of the IC-prior estimate over the
+        gravity-prior estimate (the series plotted in the paper's figure).
+    ic_errors, gravity_errors:
+        Per-bin errors of the two final estimates.
+    ic_prior_errors, gravity_prior_errors:
+        Per-bin errors of the raw priors (before refinement), for diagnostics.
+    """
+
+    dataset: str
+    scenario: str
+    improvement: np.ndarray
+    ic_errors: np.ndarray
+    gravity_errors: np.ndarray
+    ic_prior_errors: np.ndarray
+    gravity_prior_errors: np.ndarray
+
+    @property
+    def mean_improvement(self) -> float:
+        return float(np.mean(self.improvement))
+
+    def format_table(self) -> str:
+        summary = summarize_improvement(self.improvement)
+        rows = [
+            ["dataset", self.dataset],
+            ["scenario", self.scenario],
+            ["mean estimation error (gravity prior)", float(np.mean(self.gravity_errors))],
+            ["mean estimation error (IC prior)", float(np.mean(self.ic_errors))],
+            ["mean improvement %", summary["mean"]],
+            ["median improvement %", summary["median"]],
+            ["25th-75th percentile improvement %", f"{summary['p25']:.3g} .. {summary['p75']:.3g}"],
+            ["mean raw prior error (gravity)", float(np.mean(self.gravity_prior_errors))],
+            ["mean raw prior error (IC)", float(np.mean(self.ic_prior_errors))],
+        ]
+        return format_rows(["quantity", "value"], rows)
+
+
+def run_prior_comparison(
+    dataset: SyntheticDataset,
+    target_week: TrafficMatrixSeries,
+    build_ic_prior: Callable[[LinkLoadSystem], TrafficMatrixSeries],
+    *,
+    dataset_name: str,
+    scenario: str,
+    measurement_noise: float = 0.01,
+    max_bins: int | None = None,
+    seed: int = 0,
+) -> EstimationComparison:
+    """Run the shared estimation protocol with a scenario-specific IC prior.
+
+    Parameters
+    ----------
+    dataset:
+        The synthetic dataset (supplies the topology).
+    target_week:
+        Ground-truth traffic of the week being estimated.
+    build_ic_prior:
+        Callable receiving the simulated measurements and returning the IC
+        prior series.
+    dataset_name, scenario:
+        Labels for the result.
+    measurement_noise:
+        Relative std of SNMP measurement noise applied to link/marginal counts.
+    max_bins:
+        Optional cap on the number of bins estimated (keeps benchmarks fast);
+        ``None`` estimates the whole week.
+    seed:
+        Seed for the measurement noise.
+    """
+    if max_bins is not None and target_week.n_timesteps > max_bins:
+        target_week = target_week[:max_bins]
+    system = simulate_link_loads(
+        dataset.topology, target_week, noise_std=measurement_noise, seed=seed
+    )
+    gravity_prior = GravityPrior().series(
+        system.ingress, system.egress, nodes=target_week.nodes, bin_seconds=target_week.bin_seconds
+    )
+    ic_prior = build_ic_prior(system)
+    estimator = TMEstimator()
+    results = estimator.compare_priors(
+        system, {"gravity": gravity_prior, "ic": ic_prior}, target_week
+    )
+    improvement = percent_improvement(results["gravity"].errors, results["ic"].errors)
+    return EstimationComparison(
+        dataset=dataset_name,
+        scenario=scenario,
+        improvement=improvement,
+        ic_errors=results["ic"].errors,
+        gravity_errors=results["gravity"].errors,
+        ic_prior_errors=results["ic"].prior_errors,
+        gravity_prior_errors=results["gravity"].prior_errors,
+    )

@@ -1,0 +1,28 @@
+"""Interchange formats for traffic matrices and topologies.
+
+The public traffic-matrix datasets the paper uses are distributed as text
+files (the Totem repository publishes per-interval XML matrices; many
+research groups exchange simple CSV dumps).  This subpackage provides small,
+dependency-free readers and writers so that users with real data can load it
+straight into :class:`repro.core.traffic_matrix.TrafficMatrixSeries` and run
+every experiment in this repository on it:
+
+* :func:`save_series_csv` / :func:`load_series_csv` — long-format CSV
+  (``bin,origin,destination,bytes``) for whole series,
+* :func:`matrix_to_totem_xml` / :func:`matrix_from_totem_xml` — the
+  Totem-style ``<IntraTM>`` XML for a single matrix,
+* :func:`topology_to_json` / :func:`topology_from_json` — topology exchange.
+"""
+
+from repro.io.csv_format import load_series_csv, save_series_csv
+from repro.io.totem_xml import matrix_from_totem_xml, matrix_to_totem_xml
+from repro.io.topology_json import topology_from_json, topology_to_json
+
+__all__ = [
+    "save_series_csv",
+    "load_series_csv",
+    "matrix_to_totem_xml",
+    "matrix_from_totem_xml",
+    "topology_to_json",
+    "topology_from_json",
+]

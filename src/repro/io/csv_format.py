@@ -1,0 +1,89 @@
+"""Long-format CSV persistence for traffic-matrix series.
+
+The format is one row per (time bin, OD pair):
+
+.. code-block:: text
+
+    bin,origin,destination,bytes
+    0,at,be,123456.0
+    0,at,ch,78910.0
+    ...
+
+with a header line, which is the lowest-common-denominator exchange format
+between traffic-matrix tools.  Zero entries are written too, so a file is
+self-describing (the node set and bin count are recoverable from it alone).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.traffic_matrix import TrafficMatrixSeries
+from repro.errors import ValidationError
+
+__all__ = ["save_series_csv", "load_series_csv"]
+
+_HEADER = ["bin", "origin", "destination", "bytes"]
+
+
+def save_series_csv(series: TrafficMatrixSeries, path: str | Path) -> None:
+    """Write ``series`` to ``path`` in long CSV format (see module docstring)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER + [f"bin_seconds={series.bin_seconds:g}"])
+        for t in range(series.n_timesteps):
+            matrix = series.values[t]
+            for i, origin in enumerate(series.nodes):
+                for j, destination in enumerate(series.nodes):
+                    writer.writerow([t, origin, destination, repr(float(matrix[i, j]))])
+
+
+def load_series_csv(path: str | Path) -> TrafficMatrixSeries:
+    """Read a series previously written by :func:`save_series_csv`.
+
+    Node order follows first appearance in the file; bins must be dense
+    (0..T-1) but rows may appear in any order.  Missing OD entries default to
+    zero; duplicate entries raise :class:`ValidationError`.
+    """
+    path = Path(path)
+    bin_seconds = 300.0
+    entries: dict[tuple[int, str, str], float] = {}
+    nodes: list[str] = []
+    seen_nodes: set[str] = set()
+    max_bin = -1
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [c.strip() for c in header[:4]] != _HEADER:
+            raise ValidationError(f"{path} does not look like a repro traffic-matrix CSV")
+        for cell in header[4:]:
+            if cell.startswith("bin_seconds="):
+                bin_seconds = float(cell.split("=", 1)[1])
+        for row in reader:
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) < 4:
+                raise ValidationError(f"malformed CSV row: {row!r}")
+            bin_index = int(row[0])
+            origin, destination = row[1].strip(), row[2].strip()
+            value = float(row[3])
+            for node in (origin, destination):
+                if node not in seen_nodes:
+                    seen_nodes.add(node)
+                    nodes.append(node)
+            key = (bin_index, origin, destination)
+            if key in entries:
+                raise ValidationError(f"duplicate entry for {key} in {path}")
+            entries[key] = value
+            max_bin = max(max_bin, bin_index)
+    if max_bin < 0 or not nodes:
+        raise ValidationError(f"{path} contains no traffic-matrix entries")
+    index = {node: k for k, node in enumerate(nodes)}
+    values = np.zeros((max_bin + 1, len(nodes), len(nodes)))
+    for (bin_index, origin, destination), value in entries.items():
+        values[bin_index, index[origin], index[destination]] = value
+    return TrafficMatrixSeries(values, nodes, bin_seconds=bin_seconds)

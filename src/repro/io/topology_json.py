@@ -1,0 +1,76 @@
+"""JSON exchange format for PoP-level topologies.
+
+The schema is deliberately small::
+
+    {
+      "name": "geant",
+      "nodes": ["at", "be", ...],
+      "links": [
+        {"source": "at", "target": "be", "weight": 3.0, "capacity": 1e10},
+        ...
+      ]
+    }
+
+Links are directional (matching :class:`repro.topology.topology.Topology`);
+exporting and re-importing a topology is lossless.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ValidationError
+from repro.topology.topology import Link, Topology
+
+__all__ = ["topology_to_json", "topology_from_json"]
+
+
+def topology_to_json(topology: Topology, path: str | Path | None = None) -> str:
+    """Serialise ``topology`` to a JSON string, optionally writing it to ``path``."""
+    document = {
+        "name": topology.name,
+        "nodes": list(topology.nodes),
+        "links": [
+            {
+                "source": link.source,
+                "target": link.target,
+                "weight": link.weight,
+                "capacity": link.capacity,
+            }
+            for link in topology.links
+        ],
+    }
+    text = json.dumps(document, indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def topology_from_json(source: str | Path) -> Topology:
+    """Build a :class:`Topology` from a JSON string or a path to a JSON file."""
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source and Path(source).exists()):
+        text = Path(source).read_text()
+    else:
+        text = str(source)
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid topology JSON: {exc}") from exc
+    for key in ("name", "nodes", "links"):
+        if key not in document:
+            raise ValidationError(f"topology JSON is missing the {key!r} field")
+    topology = Topology(document["name"], document["nodes"])
+    for entry in document["links"]:
+        try:
+            topology.add_link(
+                Link(
+                    source=entry["source"],
+                    target=entry["target"],
+                    weight=float(entry.get("weight", 1.0)),
+                    capacity=float(entry.get("capacity", 10e9)),
+                )
+            )
+        except KeyError as exc:
+            raise ValidationError(f"topology JSON link missing field {exc.args[0]!r}") from exc
+    return topology

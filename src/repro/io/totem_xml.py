@@ -1,0 +1,89 @@
+"""Totem-style XML for a single traffic matrix.
+
+The public Totem repository (the source of the paper's D2 dataset) publishes
+each 15-minute traffic matrix as an XML document of the form
+
+.. code-block:: xml
+
+    <TrafficMatrixFile>
+      <IntraTM>
+        <src id="at"> <dst id="be">1234.5</dst> ... </src>
+        ...
+      </IntraTM>
+    </TrafficMatrixFile>
+
+This module writes and parses that structure (using only the standard
+library's ``xml.etree``), so real Totem matrices can be loaded directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.etree import ElementTree
+
+import numpy as np
+
+from repro.core.traffic_matrix import TrafficMatrix
+from repro.errors import ValidationError
+
+__all__ = ["matrix_to_totem_xml", "matrix_from_totem_xml"]
+
+
+def matrix_to_totem_xml(matrix: TrafficMatrix, path: str | Path) -> None:
+    """Write ``matrix`` to ``path`` as a Totem-style ``<TrafficMatrixFile>``."""
+    root = ElementTree.Element("TrafficMatrixFile")
+    intra = ElementTree.SubElement(root, "IntraTM")
+    for i, origin in enumerate(matrix.nodes):
+        source = ElementTree.SubElement(intra, "src", {"id": origin})
+        for j, destination in enumerate(matrix.nodes):
+            cell = ElementTree.SubElement(source, "dst", {"id": destination})
+            cell.text = repr(float(matrix.values[i, j]))
+    tree = ElementTree.ElementTree(root)
+    ElementTree.indent(tree)
+    tree.write(Path(path), encoding="unicode", xml_declaration=True)
+
+
+def matrix_from_totem_xml(path: str | Path) -> TrafficMatrix:
+    """Parse a Totem-style traffic-matrix XML file into a :class:`TrafficMatrix`.
+
+    Node order follows first appearance (source elements first, then any
+    destination-only nodes); missing cells default to zero.
+    """
+    try:
+        tree = ElementTree.parse(Path(path))
+    except ElementTree.ParseError as exc:
+        raise ValidationError(f"{path} is not well-formed XML: {exc}") from exc
+    intra = tree.getroot().find("IntraTM")
+    if intra is None:
+        # Some exports put <IntraTM> at the root directly.
+        if tree.getroot().tag == "IntraTM":
+            intra = tree.getroot()
+        else:
+            raise ValidationError(f"{path} contains no <IntraTM> element")
+    entries: dict[tuple[str, str], float] = {}
+    nodes: list[str] = []
+    seen: set[str] = set()
+
+    def register(node: str) -> None:
+        if node not in seen:
+            seen.add(node)
+            nodes.append(node)
+
+    for source in intra.findall("src"):
+        origin = source.get("id")
+        if origin is None:
+            raise ValidationError(f"{path}: <src> element without an id attribute")
+        register(origin)
+        for cell in source.findall("dst"):
+            destination = cell.get("id")
+            if destination is None:
+                raise ValidationError(f"{path}: <dst> element without an id attribute")
+            register(destination)
+            entries[(origin, destination)] = float(cell.text or 0.0)
+    if not nodes:
+        raise ValidationError(f"{path} contains no traffic entries")
+    index = {node: k for k, node in enumerate(nodes)}
+    values = np.zeros((len(nodes), len(nodes)))
+    for (origin, destination), value in entries.items():
+        values[index[origin], index[destination]] = value
+    return TrafficMatrix(values, nodes)

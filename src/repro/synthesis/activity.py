@@ -1,0 +1,159 @@
+"""Cyclostationary activity-level generation.
+
+The paper finds the fitted activity series ``A_i(t)`` to show "familiar and
+predictable diurnal patterns, with noticeable changes on weekends"
+(Section 5.4), and points at cyclo-stationary models — superpositions of a
+small number of periodic waveforms — as a suitable generative description.
+:class:`ActivityModel` implements exactly that: each node's activity is a
+heavy-tailed base level modulated by a shared daily waveform (fundamental
+plus one harmonic), a weekend damping factor and multiplicative lognormal
+noise.  Larger nodes get a more pronounced, cleaner diurnal shape, matching
+the paper's observation that high-activity nodes aggregate more users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["DiurnalProfile", "ActivityModel"]
+
+_SECONDS_PER_DAY = 86400.0
+_SECONDS_PER_WEEK = 7 * _SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Shape of the shared daily activity waveform.
+
+    Attributes
+    ----------
+    day_amplitude:
+        Relative amplitude of the fundamental (24 h) component.
+    harmonic_amplitude:
+        Relative amplitude of the 12 h harmonic (gives the sharper
+        business-hours peak).
+    peak_hour:
+        Local hour of day at which activity peaks.
+    weekend_factor:
+        Multiplicative damping applied on Saturday and Sunday (1 = none).
+    """
+
+    day_amplitude: float = 0.45
+    harmonic_amplitude: float = 0.15
+    peak_hour: float = 15.0
+    weekend_factor: float = 0.6
+
+    def __post_init__(self):
+        if not 0.0 <= self.day_amplitude <= 1.0:
+            raise ValidationError("day_amplitude must lie in [0, 1]")
+        if not 0.0 <= self.harmonic_amplitude <= 1.0:
+            raise ValidationError("harmonic_amplitude must lie in [0, 1]")
+        if not 0.0 <= self.weekend_factor <= 1.5:
+            raise ValidationError("weekend_factor must lie in [0, 1.5]")
+        if not 0.0 <= self.peak_hour < 24.0:
+            raise ValidationError("peak_hour must lie in [0, 24)")
+
+    def waveform(self, times_seconds: np.ndarray) -> np.ndarray:
+        """The multiplicative daily/weekly modulation at the given times."""
+        times = np.asarray(times_seconds, dtype=float)
+        hour = (times % _SECONDS_PER_DAY) / 3600.0
+        phase = 2.0 * np.pi * (hour - self.peak_hour) / 24.0
+        daily = 1.0 + self.day_amplitude * np.cos(phase) + self.harmonic_amplitude * np.cos(2.0 * phase)
+        day_of_week = np.floor((times % _SECONDS_PER_WEEK) / _SECONDS_PER_DAY)
+        weekend = np.where(day_of_week >= 5, self.weekend_factor, 1.0)
+        return np.clip(daily, 0.05, None) * weekend
+
+
+class ActivityModel:
+    """Generate per-node activity time series ``A_i(t)``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of access points.
+    mean_level:
+        Mean activity (bytes per bin) of a typical node.
+    heterogeneity_sigma:
+        Sigma of the lognormal spread of per-node base levels (how much the
+        largest node dominates the smallest).
+    noise_sigma:
+        Sigma of the per-bin multiplicative lognormal noise.
+    profile:
+        Shared diurnal waveform.
+    seed:
+        Seed for base levels and noise.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        mean_level: float = 1e7,
+        heterogeneity_sigma: float = 1.2,
+        noise_sigma: float = 0.15,
+        profile: DiurnalProfile | None = None,
+        seed: int | np.random.Generator = 0,
+    ):
+        if n_nodes < 1:
+            raise ValidationError("n_nodes must be >= 1")
+        if mean_level <= 0:
+            raise ValidationError("mean_level must be positive")
+        if heterogeneity_sigma < 0 or noise_sigma < 0:
+            raise ValidationError("sigmas must be non-negative")
+        self._n = int(n_nodes)
+        self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self._noise_sigma = float(noise_sigma)
+        self._profile = profile or DiurnalProfile()
+        raw = self._rng.lognormal(0.0, heterogeneity_sigma, self._n)
+        self._base_levels = mean_level * raw / raw.mean()
+        # Larger nodes aggregate more users, so their diurnal swing is more
+        # pronounced and their relative noise smaller.
+        rank = np.argsort(np.argsort(self._base_levels)) / max(self._n - 1, 1)
+        self._swing_scale = 0.6 + 0.4 * rank
+        self._noise_scale = 1.3 - 0.6 * rank
+
+    @property
+    def base_levels(self) -> np.ndarray:
+        """Per-node base activity levels (bytes per bin)."""
+        return self._base_levels.copy()
+
+    @property
+    def profile(self) -> DiurnalProfile:
+        """The shared diurnal profile."""
+        return self._profile
+
+    def generate(
+        self,
+        n_bins: int,
+        *,
+        bin_seconds: float = 300.0,
+        start_seconds: float = 0.0,
+    ) -> np.ndarray:
+        """Generate an ``(n_bins, n_nodes)`` activity series.
+
+        Parameters
+        ----------
+        n_bins:
+            Number of time bins to generate.
+        bin_seconds:
+            Bin width in seconds.
+        start_seconds:
+            Offset of the first bin from Monday 00:00 (lets successive weeks
+            continue the weekly cycle seamlessly).
+        """
+        if n_bins < 1:
+            raise ValidationError("n_bins must be >= 1")
+        if bin_seconds <= 0:
+            raise ValidationError("bin_seconds must be positive")
+        times = start_seconds + np.arange(n_bins) * bin_seconds
+        waveform = self._profile.waveform(times)  # (T,)
+        swing = 1.0 + self._swing_scale[None, :] * (waveform[:, None] - 1.0)
+        noise = self._rng.lognormal(
+            0.0, self._noise_sigma, size=(n_bins, self._n)
+        ) ** self._noise_scale[None, :]
+        activity = self._base_levels[None, :] * np.clip(swing, 0.02, None) * noise
+        return activity

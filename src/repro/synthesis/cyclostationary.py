@@ -1,0 +1,159 @@
+"""Cyclostationary modelling of activity time series.
+
+Section 5.4 of the paper observes that fitted activity series ``A_i(t)`` show
+familiar daily and weekly periodicities and points at cyclo-stationary models
+— superpositions of a small number of periodic waveforms — as a natural
+description, leaving the modelling itself to future work.  This module
+implements that step: :class:`CyclostationaryModel` fits, per node, the mean
+plus the ``K`` largest Fourier components of the observed series, and can then
+regenerate new activity series of arbitrary length (with optional lognormal
+innovation noise), to be fed back into the stable-fP generator for synthetic
+traffic matrices calibrated to measured data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+
+__all__ = ["CyclostationaryModel"]
+
+
+@dataclass(frozen=True)
+class _NodeSpectrum:
+    mean: float
+    frequencies: np.ndarray   # cycles per second of the retained components
+    amplitudes: np.ndarray
+    phases: np.ndarray
+    residual_sigma: float
+
+
+class CyclostationaryModel:
+    """A per-node sum-of-sinusoids model of activity series.
+
+    Parameters
+    ----------
+    n_components:
+        Number of Fourier components retained per node (the paper's framing:
+        "a limited number of periodic waveforms").
+    """
+
+    def __init__(self, n_components: int = 4):
+        if n_components < 1:
+            raise ValidationError("n_components must be >= 1")
+        self._k = int(n_components)
+        self._spectra: list[_NodeSpectrum] | None = None
+        self._bin_seconds: float | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._spectra is not None
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes the model was fitted to."""
+        self._require_fitted()
+        return len(self._spectra)
+
+    def fit(self, activity, *, bin_seconds: float = 300.0) -> "CyclostationaryModel":
+        """Fit the model to an observed ``(T, n)`` activity ensemble.
+
+        Returns ``self`` so fitting and generation can be chained.
+        """
+        values = np.asarray(activity, dtype=float)
+        if values.ndim != 2 or values.shape[0] < 2 * self._k + 2:
+            raise ShapeError(
+                f"activity must have shape (T, n) with T >= {2 * self._k + 2}, got {values.shape}"
+            )
+        if bin_seconds <= 0:
+            raise ValidationError("bin_seconds must be positive")
+        t = values.shape[0]
+        spectra: list[_NodeSpectrum] = []
+        frequencies = np.fft.rfftfreq(t, d=bin_seconds)
+        for column in values.T:
+            mean = float(column.mean())
+            spectrum = np.fft.rfft(column - mean)
+            magnitude = np.abs(spectrum)
+            magnitude[0] = 0.0
+            top = np.argsort(magnitude)[::-1][: self._k]
+            amplitudes = 2.0 * np.abs(spectrum[top]) / t
+            phases = np.angle(spectrum[top])
+            reconstruction = mean + sum(
+                amplitudes[k] * np.cos(2 * np.pi * frequencies[top[k]] * np.arange(t) * bin_seconds + phases[k])
+                for k in range(len(top))
+            )
+            residual = column - reconstruction
+            with np.errstate(divide="ignore", invalid="ignore"):
+                relative = residual / np.maximum(np.abs(reconstruction), 1e-9)
+            spectra.append(
+                _NodeSpectrum(
+                    mean=mean,
+                    frequencies=frequencies[top],
+                    amplitudes=amplitudes,
+                    phases=phases,
+                    residual_sigma=float(np.clip(np.std(relative), 0.0, 1.0)),
+                )
+            )
+        self._spectra = spectra
+        self._bin_seconds = float(bin_seconds)
+        return self
+
+    def reconstruct(self, n_bins: int | None = None) -> np.ndarray:
+        """The deterministic (noise-free) reconstruction, ``(n_bins, n)``."""
+        return self.generate(n_bins=n_bins, noise=False)
+
+    def generate(
+        self,
+        n_bins: int | None = None,
+        *,
+        noise: bool = True,
+        seed: int = 0,
+        start_seconds: float = 0.0,
+    ) -> np.ndarray:
+        """Generate a new activity ensemble from the fitted waveforms.
+
+        Parameters
+        ----------
+        n_bins:
+            Length of the generated series; defaults to the fitted length.
+        noise:
+            Whether to apply per-bin multiplicative lognormal innovation noise
+            whose magnitude matches the fit residuals.
+        seed:
+            Seed for the innovation noise.
+        start_seconds:
+            Time offset of the first generated bin (lets generated weeks
+            continue the phase of the fitted one).
+        """
+        self._require_fitted()
+        if n_bins is None:
+            n_bins = self._fitted_length()
+        if n_bins < 1:
+            raise ValidationError("n_bins must be >= 1")
+        times = start_seconds + np.arange(n_bins) * self._bin_seconds
+        rng = np.random.default_rng(seed)
+        columns = []
+        for spectrum in self._spectra:
+            waveform = spectrum.mean + sum(
+                spectrum.amplitudes[k]
+                * np.cos(2 * np.pi * spectrum.frequencies[k] * times + spectrum.phases[k])
+                for k in range(spectrum.amplitudes.shape[0])
+            )
+            waveform = np.clip(waveform, 0.0, None)
+            if noise and spectrum.residual_sigma > 0:
+                waveform = waveform * rng.lognormal(0.0, spectrum.residual_sigma, n_bins)
+            columns.append(waveform)
+        return np.stack(columns, axis=1)
+
+    def _fitted_length(self) -> int:
+        # The fitted length is implied by the lowest retained frequency; for
+        # generation we simply default to one week of bins at the fitted rate.
+        return int(round(7 * 24 * 3600.0 / self._bin_seconds))
+
+    def _require_fitted(self) -> None:
+        if self._spectra is None:
+            raise ValidationError("CyclostationaryModel must be fitted before use")

@@ -1,0 +1,36 @@
+"""PoP-level topology and routing substrate.
+
+Traffic-matrix estimation (Section 6) needs the linear system ``Y = R x``
+relating link counts to OD flows, which in turn needs a network topology with
+IGP link weights and a shortest-path routing matrix.  This subpackage
+provides:
+
+* :class:`repro.topology.topology.Topology` — a validated PoP-level topology
+  (nodes, weighted directed links, capacities),
+* :mod:`repro.topology.routing` — shortest-path / ECMP routing and
+  routing-matrix construction,
+* :mod:`repro.topology.library` — ready-made topologies standing in for the
+  networks used in the paper (Geant 22 PoPs, Totem 23 PoPs, Abilene 11 PoPs)
+  plus synthetic topology generators.
+"""
+
+from repro.topology.topology import Link, Topology
+from repro.topology.routing import RoutingMatrix, build_routing_matrix, shortest_paths
+from repro.topology.library import (
+    abilene_topology,
+    geant_topology,
+    random_topology,
+    totem_topology,
+)
+
+__all__ = [
+    "Link",
+    "Topology",
+    "RoutingMatrix",
+    "build_routing_matrix",
+    "shortest_paths",
+    "geant_topology",
+    "totem_topology",
+    "abilene_topology",
+    "random_topology",
+]

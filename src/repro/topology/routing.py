@@ -1,0 +1,141 @@
+"""Shortest-path routing and routing-matrix construction.
+
+The estimation problem of Section 6 is ``Y = R x`` where ``x`` is the
+vectorised traffic matrix (row-major OD order, see
+:func:`repro.core.traffic_matrix.od_pairs`), ``Y`` the vector of per-link byte
+counts and ``R`` the routing matrix: ``R[r, s]`` is the fraction of OD pair
+``s`` that traverses link ``r`` (1 for single shortest paths, fractional under
+equal-cost multipath splitting).
+
+Routing is computed from IGP link weights with Dijkstra's algorithm
+(via networkx).  Intra-PoP traffic (``i == j``) never touches a backbone link,
+so its routing-matrix column is zero — exactly why TM estimation is
+under-constrained and why the augmented system also carries the ingress and
+egress counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.topology import Topology
+
+__all__ = ["RoutingMatrix", "shortest_paths", "build_routing_matrix"]
+
+
+def shortest_paths(topology: Topology, *, all_paths: bool = False) -> dict[tuple[str, str], list[list[str]]]:
+    """All shortest paths between every ordered PoP pair.
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    all_paths:
+        When true, return *every* equal-cost shortest path (for ECMP
+        splitting); otherwise a single deterministic shortest path per pair.
+
+    Returns
+    -------
+    dict
+        Maps ``(origin, destination)`` to a list of node paths.  The
+        diagonal pairs map to the single-node path ``[origin]``.
+    """
+    topology.validate_connected()
+    graph = topology.to_networkx()
+    result: dict[tuple[str, str], list[list[str]]] = {}
+    for origin in topology.nodes:
+        if all_paths:
+            for destination in topology.nodes:
+                if origin == destination:
+                    result[(origin, destination)] = [[origin]]
+                else:
+                    paths = list(
+                        nx.all_shortest_paths(graph, origin, destination, weight="weight")
+                    )
+                    result[(origin, destination)] = paths
+        else:
+            lengths, paths = nx.single_source_dijkstra(graph, origin, weight="weight")
+            for destination in topology.nodes:
+                if origin == destination:
+                    result[(origin, destination)] = [[origin]]
+                elif destination in paths:
+                    result[(origin, destination)] = [paths[destination]]
+                else:  # pragma: no cover - unreachable once connectivity validated
+                    raise TopologyError(f"no path from {origin} to {destination}")
+    return result
+
+
+@dataclass(frozen=True)
+class RoutingMatrix:
+    """A routing matrix together with the link and OD-pair orderings it uses.
+
+    Attributes
+    ----------
+    matrix:
+        Array of shape ``(n_links, n_nodes**2)``; entry ``(r, s)`` is the
+        fraction of OD pair ``s`` carried on link ``r``.
+    links:
+        The directed links, in row order.
+    nodes:
+        PoP names, defining the row-major OD-pair column order.
+    """
+
+    matrix: np.ndarray
+    links: tuple
+    nodes: tuple[str, ...]
+
+    @property
+    def n_links(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def column(self, origin: str, destination: str) -> np.ndarray:
+        """The routing-matrix column of the OD pair ``origin -> destination``."""
+        n = self.n_nodes
+        i = self.nodes.index(origin)
+        j = self.nodes.index(destination)
+        return self.matrix[:, i * n + j]
+
+    def link_loads(self, traffic_vector: np.ndarray) -> np.ndarray:
+        """Link loads ``Y = R x`` for a vectorised traffic matrix (or ``(T, n^2)`` stack)."""
+        traffic_vector = np.asarray(traffic_vector, dtype=float)
+        return traffic_vector @ self.matrix.T if traffic_vector.ndim == 2 else self.matrix @ traffic_vector
+
+    def rank(self) -> int:
+        """Numerical rank of the routing matrix (always < n^2: the system is ill-posed)."""
+        return int(np.linalg.matrix_rank(self.matrix))
+
+
+def build_routing_matrix(topology: Topology, *, ecmp: bool = True) -> RoutingMatrix:
+    """Build the routing matrix of ``topology`` from IGP shortest paths.
+
+    Parameters
+    ----------
+    topology:
+        The network; must be strongly connected.
+    ecmp:
+        When true, traffic of an OD pair is split equally across all
+        equal-cost shortest paths (fractional routing-matrix entries); when
+        false a single shortest path carries all of it.
+    """
+    paths = shortest_paths(topology, all_paths=ecmp)
+    links = topology.links
+    link_index = {link.key: r for r, link in enumerate(links)}
+    n = topology.n_nodes
+    matrix = np.zeros((len(links), n * n))
+    for (origin, destination), node_paths in paths.items():
+        if origin == destination:
+            continue
+        column = topology.node_index(origin) * n + topology.node_index(destination)
+        share = 1.0 / len(node_paths)
+        for node_path in node_paths:
+            for hop_source, hop_target in zip(node_path[:-1], node_path[1:]):
+                matrix[link_index[(hop_source, hop_target)], column] += share
+    return RoutingMatrix(matrix=matrix, links=tuple(links), nodes=topology.nodes)

@@ -1,0 +1,130 @@
+"""Connections: two-way exchanges of traffic between an initiator and a responder.
+
+A connection is the paper's fundamental modelling unit: it has an initiator
+(the host that sent the SYN), a responder, a forward byte volume (initiator to
+responder) and a reverse byte volume.  A connection observed on an
+instrumented link pair appears as (up to) two :class:`~repro.traces.flows.FlowRecord`
+objects, one per direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.traces.flows import FiveTuple, FlowRecord
+
+__all__ = ["Connection"]
+
+
+@dataclass(frozen=True)
+class Connection:
+    """One TCP connection between an initiator host and a responder host.
+
+    Attributes
+    ----------
+    initiator_ip, responder_ip:
+        Host addresses (synthetic identifiers in this substrate).
+    initiator_port, responder_port:
+        Transport ports; the initiator port is an ephemeral port, the
+        responder port a service port.
+    initiator_node, responder_node:
+        Names of the access points (PoPs) where the two hosts attach — the
+        quantities the IC model is actually about.
+    forward_bytes, reverse_bytes:
+        Byte volumes initiator→responder and responder→initiator.
+    start, duration:
+        Start time (seconds from the trace origin; may be negative for
+        connections that began before the window) and duration.
+    application:
+        Application label driving the volume asymmetry.
+    """
+
+    initiator_ip: str
+    responder_ip: str
+    initiator_port: int
+    responder_port: int
+    initiator_node: str
+    responder_node: str
+    forward_bytes: float
+    reverse_bytes: float
+    start: float
+    duration: float
+    application: str = "unknown"
+
+    def __post_init__(self):
+        if self.forward_bytes < 0 or self.reverse_bytes < 0:
+            raise TraceError("connection byte volumes must be non-negative")
+        if self.duration <= 0:
+            raise TraceError("connection duration must be positive")
+
+    @property
+    def total_bytes(self) -> float:
+        """Forward plus reverse bytes."""
+        return self.forward_bytes + self.reverse_bytes
+
+    @property
+    def forward_fraction(self) -> float:
+        """This connection's own ``f`` (0.5 when the connection is empty)."""
+        total = self.total_bytes
+        if total <= 0:
+            return 0.5
+        return self.forward_bytes / total
+
+    @property
+    def end(self) -> float:
+        """Connection end time."""
+        return self.start + self.duration
+
+    @property
+    def forward_tuple(self) -> FiveTuple:
+        """The 5-tuple of the forward (initiator→responder) direction."""
+        return FiveTuple(
+            src_ip=self.initiator_ip,
+            dst_ip=self.responder_ip,
+            src_port=self.initiator_port,
+            dst_port=self.responder_port,
+        )
+
+    def flow_records(
+        self,
+        forward_link: str,
+        reverse_link: str,
+        *,
+        window_start: float = 0.0,
+        packet_bytes: float = 1000.0,
+    ) -> tuple[FlowRecord, FlowRecord]:
+        """The two per-direction flow records of this connection on a link pair.
+
+        Parameters
+        ----------
+        forward_link, reverse_link:
+            Names of the links carrying the forward and reverse directions.
+        window_start:
+            Start of the observation window; the SYN is only visible when the
+            connection started inside the window.
+        packet_bytes:
+            Average packet size used to derive packet counts from volumes.
+        """
+        syn_visible = self.start >= window_start
+        forward = FlowRecord(
+            five_tuple=self.forward_tuple,
+            link=forward_link,
+            bytes=self.forward_bytes,
+            packets=max(1, int(round(self.forward_bytes / packet_bytes))),
+            start=self.start,
+            end=self.end,
+            carries_syn=syn_visible,
+            application=self.application,
+        )
+        reverse = FlowRecord(
+            five_tuple=self.forward_tuple.reversed(),
+            link=reverse_link,
+            bytes=self.reverse_bytes,
+            packets=max(1, int(round(self.reverse_bytes / packet_bytes))),
+            start=self.start,
+            end=self.end,
+            carries_syn=False,
+            application=self.application,
+        )
+        return forward, reverse

@@ -1,0 +1,173 @@
+"""The Section 5.2 measurement procedure: estimating ``f`` from link traces.
+
+Given the flow traces of the two directions of an instrumented link between
+access points ``i`` and ``j``, the paper estimates ``f_ij`` as follows:
+
+1. form connections by matching flows between the two links that have
+   corresponding 5-tuples;
+2. determine the traffic on the ``i→j`` link belonging to connections
+   *initiated at* ``i`` (the sender of the TCP SYN) with a response on the
+   ``j→i`` link — call it ``I_i``;
+3. determine the traffic on the ``i→j`` link belonging to connections
+   initiated at ``j`` — call it ``R_i``; proceed analogously for ``I_j`` and
+   ``R_j``;
+4. classify the remaining traffic (no SYN observed, or no matching reverse
+   flow) as *unknown*;
+5. compute ``f_ij = I_i / (I_i + R_j)``.
+
+The procedure is applied per time bin (5 minutes in the paper) so the
+stability of ``f`` over time can be examined (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError, ValidationError
+from repro.traces.flows import FlowRecord
+from repro.traces.trace_generator import LinkTracePair
+
+__all__ = ["FMeasurement", "measure_forward_fraction"]
+
+
+@dataclass(frozen=True)
+class FMeasurement:
+    """Per-bin forward-fraction measurements for one instrumented link pair.
+
+    Attributes
+    ----------
+    node_a, node_b:
+        The two access points.
+    bin_seconds:
+        Width of each measurement bin.
+    f_a_to_b:
+        Per-bin estimates of ``f`` for connections initiated at ``node_a``
+        (i.e. ``f_(a,b)``), shape ``(bins,)``; ``nan`` where the bin had no
+        classifiable traffic.
+    f_b_to_a:
+        Same for connections initiated at ``node_b``.
+    unknown_fraction:
+        Fraction of total observed bytes that could not be classified
+        (connection started before the window, or no reverse flow matched).
+    """
+
+    node_a: str
+    node_b: str
+    bin_seconds: float
+    f_a_to_b: np.ndarray
+    f_b_to_a: np.ndarray
+    unknown_fraction: float
+
+    @property
+    def n_bins(self) -> int:
+        return self.f_a_to_b.shape[0]
+
+    def mean_f(self) -> tuple[float, float]:
+        """Mean ``f`` over bins for each direction (ignoring empty bins)."""
+        return (
+            float(np.nanmean(self.f_a_to_b)),
+            float(np.nanmean(self.f_b_to_a)),
+        )
+
+    def spatial_gap(self) -> float:
+        """Absolute difference of the two directions' mean ``f``.
+
+        Small values support the paper's spatial-stability assumption
+        (``f_ij ≈ f_ji``).
+        """
+        mean_ab, mean_ba = self.mean_f()
+        return abs(mean_ab - mean_ba)
+
+    def temporal_spread(self) -> tuple[float, float]:
+        """Standard deviation of per-bin ``f`` for each direction."""
+        return (
+            float(np.nanstd(self.f_a_to_b)),
+            float(np.nanstd(self.f_b_to_a)),
+        )
+
+
+def _index_by_tuple(flows: list[FlowRecord]) -> dict:
+    index: dict = {}
+    for flow in flows:
+        index.setdefault(flow.five_tuple, []).append(flow)
+    return index
+
+
+def measure_forward_fraction(pair: LinkTracePair, *, bin_seconds: float = 300.0) -> FMeasurement:
+    """Apply the Section 5.2 procedure to a link trace pair.
+
+    Parameters
+    ----------
+    pair:
+        The two directional flow traces.
+    bin_seconds:
+        Measurement bin width; the paper uses 300 s.
+    """
+    if bin_seconds <= 0:
+        raise ValidationError("bin_seconds must be positive")
+    if pair.duration <= 0:
+        raise TraceError("trace pair has a non-positive duration")
+    n_bins = int(np.ceil(pair.duration / bin_seconds))
+    if n_bins < 1:
+        raise TraceError("trace is shorter than one measurement bin")
+
+    reverse_index = _index_by_tuple(pair.b_to_a)
+    forward_index = _index_by_tuple(pair.a_to_b)
+
+    # Classified byte volumes per bin:
+    #   initiated_at_a[b] : bytes on a->b from connections initiated at a (I_a)
+    #   responded_at_a[b] : bytes on a->b from connections initiated at b (R_a)
+    # and symmetrically for the b->a link.
+    initiated_at_a = np.zeros(n_bins)
+    responded_on_a_to_b = np.zeros(n_bins)
+    initiated_at_b = np.zeros(n_bins)
+    responded_on_b_to_a = np.zeros(n_bins)
+    unknown_bytes = 0.0
+    total_bytes = 0.0
+
+    def classify(flows: list[FlowRecord], other_index: dict, initiated_bins, responded_bins):
+        nonlocal unknown_bytes, total_bytes
+        for flow in flows:
+            total_bytes += flow.bytes
+            matches = other_index.get(flow.five_tuple.reversed(), [])
+            if not matches:
+                unknown_bytes += flow.bytes
+                continue
+            reverse_has_syn = any(match.carries_syn for match in matches)
+            if flow.carries_syn:
+                target = initiated_bins
+            elif reverse_has_syn:
+                target = responded_bins
+            else:
+                # Neither direction carried a SYN inside the window: the
+                # connection started before the trace, so the initiator is
+                # unknowable (the paper classifies this traffic as unknown).
+                unknown_bytes += flow.bytes
+                continue
+            for b in range(n_bins):
+                bin_start = b * bin_seconds
+                bin_end = min((b + 1) * bin_seconds, pair.duration)
+                target[b] += flow.bytes_in_bin(bin_start, bin_end)
+
+    classify(pair.a_to_b, reverse_index, initiated_at_a, responded_on_a_to_b)
+    classify(pair.b_to_a, forward_index, initiated_at_b, responded_on_b_to_a)
+
+    # f_(a,b) = I_a / (I_a + R_b): forward bytes of a-initiated connections on
+    # a->b, divided by those plus the reverse bytes flowing back on b->a.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        denominator_ab = initiated_at_a + responded_on_b_to_a
+        f_a_to_b = np.where(denominator_ab > 0, initiated_at_a / np.where(denominator_ab > 0, denominator_ab, 1.0), np.nan)
+        denominator_ba = initiated_at_b + responded_on_a_to_b
+        f_b_to_a = np.where(denominator_ba > 0, initiated_at_b / np.where(denominator_ba > 0, denominator_ba, 1.0), np.nan)
+
+    unknown_fraction = unknown_bytes / total_bytes if total_bytes > 0 else 0.0
+    return FMeasurement(
+        node_a=pair.node_a,
+        node_b=pair.node_b,
+        bin_seconds=float(bin_seconds),
+        f_a_to_b=f_a_to_b,
+        f_b_to_a=f_b_to_a,
+        unknown_fraction=float(unknown_fraction),
+    )

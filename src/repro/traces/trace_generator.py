@@ -1,0 +1,187 @@
+"""Synthetic bidirectional trace generation (substitute for the Abilene D3 traces).
+
+The D3 dataset is a pair of two-hour bidirectional packet-header traces
+collected on the IPLS-CLEV and IPLS-KSCY Abilene links.  Those traces are not
+redistributable at packet level, so this module generates synthetic
+equivalents: a population of connections between two access points with
+
+* an application mix controlling per-connection volume asymmetry,
+* Poisson connection arrivals over the window, plus a configurable fraction
+  of connections that started *before* the window (whose SYN is therefore not
+  observable — the paper's "unknown" traffic),
+* lognormal connection durations,
+* the two directions of every connection emitted onto the two instrumented
+  link directions.
+
+The resulting :class:`LinkTracePair` feeds the measurement procedure in
+:mod:`repro.traces.matching` exactly the way the real traces feed the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.traces.applications import ApplicationProfile, DEFAULT_APPLICATION_MIX
+from repro.traces.connections import Connection
+from repro.traces.flows import FlowRecord
+
+__all__ = ["LinkTracePair", "BidirectionalTraceGenerator"]
+
+
+@dataclass
+class LinkTracePair:
+    """The two directional flow traces of one instrumented link pair.
+
+    Attributes
+    ----------
+    node_a, node_b:
+        The two access points, e.g. ``"IPLS"`` and ``"CLEV"``.
+    a_to_b, b_to_a:
+        Flow records observed on the ``a→b`` and ``b→a`` link directions.
+    duration:
+        Trace window length in seconds.
+    connections:
+        The ground-truth connections (available because the trace is
+        synthetic; used to validate the measurement procedure).
+    """
+
+    node_a: str
+    node_b: str
+    a_to_b: list[FlowRecord] = field(default_factory=list)
+    b_to_a: list[FlowRecord] = field(default_factory=list)
+    duration: float = 7200.0
+    connections: list[Connection] = field(default_factory=list)
+
+    @property
+    def link_a_to_b(self) -> str:
+        """Name of the ``a→b`` link direction."""
+        return f"{self.node_a}->{self.node_b}"
+
+    @property
+    def link_b_to_a(self) -> str:
+        """Name of the ``b→a`` link direction."""
+        return f"{self.node_b}->{self.node_a}"
+
+    def true_forward_fraction(self, initiator_node: str) -> float:
+        """Ground-truth aggregate ``f`` of connections initiated at ``initiator_node``."""
+        forward = sum(
+            c.forward_bytes for c in self.connections if c.initiator_node == initiator_node
+        )
+        reverse = sum(
+            c.reverse_bytes for c in self.connections if c.initiator_node == initiator_node
+        )
+        total = forward + reverse
+        if total <= 0:
+            return 0.5
+        return forward / total
+
+
+class BidirectionalTraceGenerator:
+    """Generate synthetic bidirectional traces between two access points.
+
+    Parameters
+    ----------
+    node_a, node_b:
+        Access-point names (default: the paper's IPLS and CLEV).
+    application_mix:
+        Application profiles; their shares control the aggregate ``f``.
+    connections_per_hour:
+        Mean connection arrival rate from each side.
+    initiation_balance:
+        Fraction of connections initiated at ``node_a`` (0.5 = symmetric).
+    straddling_fraction:
+        Fraction of connections that started before the trace window (these
+        become "unknown" traffic in the measurement procedure).
+    mean_duration_seconds:
+        Mean connection duration (lognormal).
+    seed:
+        Seed for reproducible trace generation.
+    """
+
+    def __init__(
+        self,
+        node_a: str = "IPLS",
+        node_b: str = "CLEV",
+        *,
+        application_mix: tuple[ApplicationProfile, ...] = DEFAULT_APPLICATION_MIX,
+        connections_per_hour: int = 2000,
+        initiation_balance: float = 0.5,
+        straddling_fraction: float = 0.08,
+        mean_duration_seconds: float = 60.0,
+        seed: int = 0,
+    ):
+        if not application_mix:
+            raise ValidationError("application_mix must not be empty")
+        if not 0.0 <= initiation_balance <= 1.0:
+            raise ValidationError("initiation_balance must lie in [0, 1]")
+        if not 0.0 <= straddling_fraction < 1.0:
+            raise ValidationError("straddling_fraction must lie in [0, 1)")
+        if connections_per_hour <= 0:
+            raise ValidationError("connections_per_hour must be positive")
+        if mean_duration_seconds <= 0:
+            raise ValidationError("mean_duration_seconds must be positive")
+        self._node_a = str(node_a)
+        self._node_b = str(node_b)
+        self._mix = tuple(application_mix)
+        self._rate = float(connections_per_hour)
+        self._balance = float(initiation_balance)
+        self._straddling = float(straddling_fraction)
+        self._mean_duration = float(mean_duration_seconds)
+        self._seed = int(seed)
+
+    def generate(self, duration_seconds: float = 7200.0) -> LinkTracePair:
+        """Generate a trace pair covering ``duration_seconds`` of the link."""
+        if duration_seconds <= 0:
+            raise ValidationError("duration_seconds must be positive")
+        rng = np.random.default_rng(self._seed)
+        expected = self._rate * duration_seconds / 3600.0
+        count = int(rng.poisson(expected))
+        shares = np.array([profile.connection_share for profile in self._mix], dtype=float)
+        shares = shares / shares.sum()
+
+        pair = LinkTracePair(self._node_a, self._node_b, duration=duration_seconds)
+        for index in range(count):
+            profile = self._mix[int(rng.choice(len(self._mix), p=shares))]
+            forward_bytes, reverse_bytes = profile.sample_volumes(rng)
+            a_initiates = bool(rng.random() < self._balance)
+            straddles = bool(rng.random() < self._straddling)
+            duration = float(
+                rng.lognormal(np.log(self._mean_duration), 0.8)
+            )
+            if straddles:
+                start = -float(rng.uniform(0.0, duration))
+            else:
+                start = float(rng.uniform(0.0, duration_seconds))
+            initiator_node = self._node_a if a_initiates else self._node_b
+            responder_node = self._node_b if a_initiates else self._node_a
+            connection = Connection(
+                initiator_ip=f"{initiator_node.lower()}-host-{index}",
+                responder_ip=f"{responder_node.lower()}-srv-{index % 997}",
+                initiator_port=int(rng.integers(1024, 65535)),
+                responder_port=int(rng.choice((80, 443, 25, 6881, 22))),
+                initiator_node=initiator_node,
+                responder_node=responder_node,
+                forward_bytes=float(forward_bytes[0]),
+                reverse_bytes=float(reverse_bytes[0]),
+                start=start,
+                duration=duration,
+                application=profile.name,
+            )
+            pair.connections.append(connection)
+            if a_initiates:
+                forward_link, reverse_link = pair.link_a_to_b, pair.link_b_to_a
+            else:
+                forward_link, reverse_link = pair.link_b_to_a, pair.link_a_to_b
+            forward_flow, reverse_flow = connection.flow_records(
+                forward_link, reverse_link, window_start=0.0
+            )
+            if forward_flow.link == pair.link_a_to_b:
+                pair.a_to_b.append(forward_flow)
+                pair.b_to_a.append(reverse_flow)
+            else:
+                pair.b_to_a.append(forward_flow)
+                pair.a_to_b.append(reverse_flow)
+        return pair

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ic_model import simplified_ic_series
+from repro.core.traffic_matrix import TrafficMatrixSeries
+from repro.synthesis.datasets import make_geant_like_dataset
+from repro.topology.library import abilene_topology, geant_topology
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def clean_ic_series() -> tuple[TrafficMatrixSeries, float, np.ndarray, np.ndarray]:
+    """A noiseless stable-fP series with known parameters (f, preference, activity)."""
+    generator = np.random.default_rng(7)
+    n, t = 8, 30
+    preference = generator.lognormal(-4.3, 1.7, n)
+    preference = preference / preference.sum()
+    activity = generator.lognormal(np.log(1e6), 0.5, (t, n))
+    forward = 0.25
+    values = simplified_ic_series(forward, activity, preference)
+    series = TrafficMatrixSeries(values, bin_seconds=300.0)
+    return series, forward, preference, activity
+
+
+@pytest.fixture(scope="session")
+def small_geant_dataset():
+    """A small Geant-like dataset reused across estimation-oriented tests."""
+    return make_geant_like_dataset(n_weeks=2, bins_per_week=48, seed=101)
+
+
+@pytest.fixture(scope="session")
+def geant():
+    return geant_topology()
+
+
+@pytest.fixture(scope="session")
+def abilene():
+    return abilene_topology()

@@ -1,0 +1,149 @@
+"""Tests for the characterisation tools: distributions, stability, activity analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization.activity_analysis import (
+    analyze_activity,
+    dominant_period,
+    weekend_ratio,
+)
+from repro.characterization.distributions import (
+    compare_tail_fits,
+    empirical_ccdf,
+    fit_exponential,
+    fit_lognormal,
+)
+from repro.characterization.stability import (
+    correlation,
+    parameter_stability,
+    preference_stability,
+)
+from repro.errors import ShapeError, ValidationError
+
+
+class TestDistributions:
+    def test_ccdf_monotone_decreasing(self):
+        values, ccdf = empirical_ccdf(np.random.default_rng(0).random(50))
+        assert np.all(np.diff(values) >= 0)
+        assert np.all(np.diff(ccdf) <= 0)
+        assert ccdf[0] == pytest.approx(1.0)
+
+    def test_ccdf_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            empirical_ccdf([])
+
+    def test_exponential_mle_recovers_scale(self):
+        rng = np.random.default_rng(1)
+        data = rng.exponential(0.05, 5000)
+        fit = fit_exponential(data)
+        assert fit.parameters["scale"] == pytest.approx(0.05, rel=0.1)
+
+    def test_lognormal_mle_recovers_parameters(self):
+        rng = np.random.default_rng(2)
+        data = rng.lognormal(-4.3, 1.7, 5000)
+        fit = fit_lognormal(data)
+        assert fit.parameters["mu"] == pytest.approx(-4.3, abs=0.1)
+        assert fit.parameters["sigma"] == pytest.approx(1.7, rel=0.1)
+
+    def test_lognormal_wins_on_lognormal_data(self):
+        rng = np.random.default_rng(3)
+        data = rng.lognormal(-4.3, 1.7, 300)
+        fits = compare_tail_fits(data)
+        assert fits["lognormal"].log_likelihood > fits["exponential"].log_likelihood
+
+    def test_exponential_wins_on_exponential_data(self):
+        rng = np.random.default_rng(4)
+        data = rng.exponential(1.0, 300)
+        fits = compare_tail_fits(data)
+        assert fits["exponential"].log_likelihood > fits["lognormal"].log_likelihood - 5.0
+
+    def test_fit_ccdf_evaluation(self):
+        fit = fit_exponential(np.random.default_rng(5).exponential(1.0, 100))
+        ccdf = fit.ccdf(np.array([0.0, 1.0, 10.0]))
+        assert ccdf[0] == pytest.approx(1.0)
+        assert np.all(np.diff(ccdf) < 0)
+
+    def test_fit_requires_positive_values(self):
+        with pytest.raises(ValidationError):
+            fit_lognormal([0.0, 0.0])
+
+
+class TestStability:
+    def test_parameter_stability_of_constant_series(self):
+        report = parameter_stability([0.25, 0.25, 0.25])
+        assert report.coefficient_of_variation == pytest.approx(0.0)
+        assert report.max_relative_change == pytest.approx(0.0)
+
+    def test_parameter_stability_detects_drift(self):
+        stable = parameter_stability([0.25, 0.26, 0.24])
+        unstable = parameter_stability([0.1, 0.5, 0.2])
+        assert unstable.coefficient_of_variation > stable.coefficient_of_variation
+
+    def test_parameter_stability_needs_two_weeks(self):
+        with pytest.raises(ValidationError):
+            parameter_stability([0.25])
+
+    def test_preference_stability_identical_weeks(self):
+        preference = np.array([[0.5, 0.3, 0.2], [0.5, 0.3, 0.2]])
+        report = preference_stability(preference)
+        assert report.week_to_week_correlation == pytest.approx(1.0)
+        assert report.max_relative_change == pytest.approx(0.0)
+
+    def test_preference_stability_shape_check(self):
+        with pytest.raises(ShapeError):
+            preference_stability(np.ones(5))
+
+    def test_correlation_basics(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert correlation(x, 2 * x) == pytest.approx(1.0)
+        assert correlation(x, -x) == pytest.approx(-1.0)
+        assert correlation(x, np.ones(4)) == 0.0
+
+    def test_correlation_validation(self):
+        with pytest.raises(ValidationError):
+            correlation([1.0], [1.0])
+        with pytest.raises(ShapeError):
+            correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+class TestActivityAnalysis:
+    def test_dominant_period_of_sine(self):
+        bin_seconds = 300.0
+        times = np.arange(0, 4 * 86400, bin_seconds)
+        series = 10 + np.sin(2 * np.pi * times / 86400.0)
+        assert dominant_period(series, bin_seconds=bin_seconds) == pytest.approx(86400.0, rel=0.05)
+
+    def test_dominant_period_validation(self):
+        with pytest.raises(ShapeError):
+            dominant_period([1.0, 2.0])
+        with pytest.raises(ValidationError):
+            dominant_period(np.ones(100), bin_seconds=0.0)
+
+    def test_weekend_ratio_detects_dip(self):
+        bin_seconds = 3600.0
+        times = np.arange(0, 7 * 86400, bin_seconds)
+        day_of_week = np.floor((times % (7 * 86400)) / 86400)
+        series = np.where(day_of_week >= 5, 5.0, 10.0)
+        assert weekend_ratio(series, bin_seconds=bin_seconds) == pytest.approx(0.5)
+
+    def test_weekend_ratio_without_weekend_is_one(self):
+        series = np.ones(10)
+        assert weekend_ratio(series, bin_seconds=3600.0) == 1.0
+
+    def test_analyze_activity_node_selection(self):
+        rng = np.random.default_rng(6)
+        small = rng.random(100) + 1
+        medium = rng.random(100) + 10
+        large = rng.random(100) + 100
+        activity = np.stack([medium, large, small], axis=1)
+        summary = analyze_activity(activity, bin_seconds=300.0)
+        assert summary.largest == 1
+        assert summary.smallest == 2
+        assert summary.median_node == 0
+
+    def test_analyze_activity_shape_check(self):
+        with pytest.raises(ShapeError):
+            analyze_activity(np.ones((2, 3)))

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_experiment_choices_cover_registry(self):
+        parser = build_parser()
+        action = next(a for a in parser._actions if a.dest == "experiment")
+        assert set(action.choices) == set(EXPERIMENTS) | {"all"}
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.dataset is None
+        assert not args.full_scale
+        assert args.bins_per_week is None
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_runs_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output
+        assert "P[E=A]" in output
+
+    def test_runs_fig3_with_dataset_and_bins(self, capsys):
+        assert main(["fig3", "--dataset", "geant", "--bins-per-week", "24"]) == 0
+        output = capsys.readouterr().out
+        assert "mean improvement %" in output
+
+    def test_runs_fig10(self, capsys):
+        assert main(["fig10"]) == 0
+        assert "asymmetry level" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Tests for the cyclostationary activity model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization.activity_analysis import dominant_period
+from repro.errors import ShapeError, ValidationError
+from repro.synthesis.activity import ActivityModel
+from repro.synthesis.cyclostationary import CyclostationaryModel
+
+
+@pytest.fixture(scope="module")
+def diurnal_activity():
+    model = ActivityModel(5, noise_sigma=0.05, seed=4)
+    return model.generate(3 * 288, bin_seconds=300.0)  # three days of 5-minute bins
+
+
+class TestFitting:
+    def test_reconstruction_tracks_the_data(self, diurnal_activity):
+        model = CyclostationaryModel(n_components=6).fit(diurnal_activity, bin_seconds=300.0)
+        reconstruction = model.reconstruct(diurnal_activity.shape[0])
+        relative = np.abs(reconstruction - diurnal_activity) / diurnal_activity.mean(axis=0)
+        assert float(np.median(relative)) < 0.25
+
+    def test_preserves_mean_levels(self, diurnal_activity):
+        model = CyclostationaryModel().fit(diurnal_activity, bin_seconds=300.0)
+        reconstruction = model.reconstruct(diurnal_activity.shape[0])
+        np.testing.assert_allclose(
+            reconstruction.mean(axis=0), diurnal_activity.mean(axis=0), rtol=0.1
+        )
+
+    def test_generated_series_keeps_daily_period(self, diurnal_activity):
+        model = CyclostationaryModel(n_components=4).fit(diurnal_activity, bin_seconds=300.0)
+        generated = model.generate(2 * 288, noise=False)
+        period = dominant_period(generated[:, 0], bin_seconds=300.0)
+        assert period == pytest.approx(86400.0, rel=0.15)
+
+    def test_generation_with_noise_is_seeded(self, diurnal_activity):
+        model = CyclostationaryModel().fit(diurnal_activity, bin_seconds=300.0)
+        a = model.generate(100, seed=3)
+        b = model.generate(100, seed=3)
+        c = model.generate(100, seed=4)
+        np.testing.assert_allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_generated_values_nonnegative(self, diurnal_activity):
+        model = CyclostationaryModel().fit(diurnal_activity, bin_seconds=300.0)
+        assert np.all(model.generate(500) >= 0)
+
+    def test_default_length_is_one_week(self, diurnal_activity):
+        model = CyclostationaryModel().fit(diurnal_activity, bin_seconds=300.0)
+        assert model.generate(noise=False).shape[0] == 2016
+
+
+class TestValidation:
+    def test_requires_fit_before_use(self):
+        with pytest.raises(ValidationError):
+            CyclostationaryModel().generate(10)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ShapeError):
+            CyclostationaryModel(n_components=4).fit(np.ones((5, 3)))
+
+    def test_rejects_bad_components(self):
+        with pytest.raises(ValidationError):
+            CyclostationaryModel(n_components=0)
+
+    def test_rejects_bad_bin_size(self):
+        with pytest.raises(ValidationError):
+            CyclostationaryModel().fit(np.ones((100, 2)), bin_seconds=0.0)
+
+    def test_is_fitted_flag(self, diurnal_activity):
+        model = CyclostationaryModel()
+        assert not model.is_fitted
+        model.fit(diurnal_activity, bin_seconds=300.0)
+        assert model.is_fitted
+        assert model.n_nodes == diurnal_activity.shape[1]

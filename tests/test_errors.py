@@ -1,0 +1,39 @@
+"""The exception hierarchy contract: everything derives from ReproError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exception_class",
+    [
+        errors.ValidationError,
+        errors.ShapeError,
+        errors.FittingError,
+        errors.EstimationError,
+        errors.TopologyError,
+        errors.TraceError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exception_class):
+    assert issubclass(exception_class, errors.ReproError)
+
+
+def test_value_like_errors_are_value_errors():
+    assert issubclass(errors.ValidationError, ValueError)
+    assert issubclass(errors.ShapeError, ValueError)
+    assert issubclass(errors.TopologyError, ValueError)
+    assert issubclass(errors.TraceError, ValueError)
+
+
+def test_runtime_like_errors_are_runtime_errors():
+    assert issubclass(errors.FittingError, RuntimeError)
+    assert issubclass(errors.EstimationError, RuntimeError)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.TraceError("boom")

@@ -1,0 +1,147 @@
+"""Tests for IC-model parameter fitting (the Section 5.1 optimisation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_stable_f, fit_stable_fp, fit_time_varying
+from repro.core.ic_model import simplified_ic_series
+from repro.core.traffic_matrix import TrafficMatrixSeries
+from repro.errors import ValidationError
+
+
+class TestStableFPFit:
+    def test_exact_recovery_on_clean_data(self, clean_ic_series):
+        series, forward, preference, activity = clean_ic_series
+        fit = fit_stable_fp(series)
+        assert fit.model == "stable-fP"
+        assert fit.forward_fraction == pytest.approx(forward, abs=0.01)
+        np.testing.assert_allclose(fit.preference, preference, atol=0.005)
+        assert fit.mean_error < 1e-3
+
+    def test_activity_recovery_on_clean_data(self, clean_ic_series):
+        series, _, _, activity = clean_ic_series
+        fit = fit_stable_fp(series)
+        correlation = np.corrcoef(fit.activity.ravel(), activity.ravel())[0, 1]
+        assert correlation > 0.999
+
+    def test_objective_history_is_monotone_decreasing(self, clean_ic_series):
+        series, *_ = clean_ic_series
+        fit = fit_stable_fp(series)
+        history = np.array(fit.objective_history)
+        assert np.all(np.diff(history) <= 1e-6)
+
+    def test_converged_flag(self, clean_ic_series):
+        series, *_ = clean_ic_series
+        assert fit_stable_fp(series, max_iterations=100).converged
+
+    def test_noisy_data_still_beats_gravity(self):
+        from repro.core.gravity import gravity_series
+        from repro.core.metrics import mean_relative_error
+
+        rng = np.random.default_rng(11)
+        activity = rng.lognormal(np.log(1e6), 0.7, (40, 10))
+        preference = rng.lognormal(-4.3, 1.7, 10)
+        clean = simplified_ic_series(0.22, activity, preference / preference.sum())
+        noisy = TrafficMatrixSeries(clean * rng.lognormal(0.0, 0.2, clean.shape))
+        fit = fit_stable_fp(noisy)
+        gravity_error = mean_relative_error(noisy, gravity_series(noisy))
+        assert fit.mean_error < gravity_error
+
+    def test_predicted_series_matches_errors(self, clean_ic_series):
+        series, *_ = clean_ic_series
+        fit = fit_stable_fp(series)
+        predicted = fit.predicted_series(bin_seconds=series.bin_seconds)
+        from repro.core.metrics import rel_l2_temporal_error
+
+        np.testing.assert_allclose(
+            rel_l2_temporal_error(series, predicted), fit.errors, atol=1e-12
+        )
+
+    def test_forward_bounds_respected(self, clean_ic_series):
+        series, *_ = clean_ic_series
+        fit = fit_stable_fp(series, forward_bounds=(0.0, 0.1))
+        assert 0.0 <= fit.forward_fraction <= 0.1
+
+    def test_invalid_bounds_rejected(self, clean_ic_series):
+        series, *_ = clean_ic_series
+        with pytest.raises(ValidationError):
+            fit_stable_fp(series, forward_bounds=(0.6, 0.4))
+
+    def test_invalid_initial_f_rejected(self, clean_ic_series):
+        series, *_ = clean_ic_series
+        with pytest.raises(ValidationError):
+            fit_stable_fp(series, initial_forward_fraction=1.5)
+
+    def test_refine_does_not_hurt(self, clean_ic_series):
+        series, *_ = clean_ic_series
+        plain = fit_stable_fp(series)
+        refined = fit_stable_fp(series, refine=True)
+        assert refined.objective <= plain.objective + 1e-6
+
+    def test_preference_is_normalised(self, clean_ic_series):
+        series, *_ = clean_ic_series
+        fit = fit_stable_fp(series)
+        assert fit.preference.sum() == pytest.approx(1.0)
+        assert np.all(fit.preference >= 0)
+
+    def test_activity_nonnegative(self, clean_ic_series):
+        series, *_ = clean_ic_series
+        assert np.all(fit_stable_fp(series).activity >= 0)
+
+    def test_accepts_raw_array(self):
+        rng = np.random.default_rng(3)
+        values = rng.random((6, 4, 4))
+        fit = fit_stable_fp(values)
+        assert fit.errors.shape == (6,)
+
+    def test_single_bin_series(self):
+        rng = np.random.default_rng(4)
+        values = rng.random((1, 5, 5))
+        fit = fit_stable_fp(values)
+        assert fit.activity.shape == (1, 5)
+
+
+class TestStableFFit:
+    def test_fits_clean_data_near_exactly(self, clean_ic_series):
+        series, forward, *_ = clean_ic_series
+        fit = fit_stable_f(series)
+        assert fit.model == "stable-f"
+        assert fit.mean_error < 0.01
+        assert fit.preference.shape == (series.n_timesteps, series.n_nodes)
+
+    def test_error_not_worse_than_stable_fp(self, clean_ic_series):
+        """More degrees of freedom must not fit the data worse (up to tolerance)."""
+        series, *_ = clean_ic_series
+        fp = fit_stable_fp(series)
+        f_only = fit_stable_f(series)
+        assert f_only.mean_error <= fp.mean_error + 1e-3
+
+    def test_forward_bounds(self, clean_ic_series):
+        series, *_ = clean_ic_series
+        fit = fit_stable_f(series, forward_bounds=(0.0, 0.3))
+        assert fit.forward_fraction <= 0.3
+
+
+class TestTimeVaryingFit:
+    def test_fits_data_with_drifting_f(self):
+        rng = np.random.default_rng(9)
+        n, t = 6, 12
+        preference = rng.random(n)
+        preference /= preference.sum()
+        activity = rng.lognormal(np.log(1e5), 0.4, (t, n))
+        forwards = np.linspace(0.15, 0.35, t)
+        values = np.stack(
+            [simplified_ic_series(forwards[k], activity[k][None], preference)[0] for k in range(t)]
+        )
+        fit = fit_time_varying(values)
+        assert fit.model == "time-varying"
+        assert fit.forward_fraction.shape == (t,)
+        assert fit.mean_error < 0.02
+
+    def test_time_varying_not_worse_than_stable_f(self, clean_ic_series):
+        series, *_ = clean_ic_series
+        tv = fit_time_varying(series)
+        sf = fit_stable_f(series)
+        assert tv.mean_error <= sf.mean_error + 1e-3

@@ -1,0 +1,130 @@
+"""Tests for the interchange formats (CSV, Totem XML, topology JSON)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.traffic_matrix import TrafficMatrix, TrafficMatrixSeries
+from repro.errors import ValidationError
+from repro.io import (
+    load_series_csv,
+    matrix_from_totem_xml,
+    matrix_to_totem_xml,
+    save_series_csv,
+    topology_from_json,
+    topology_to_json,
+)
+from repro.topology.library import abilene_topology, geant_topology
+
+
+@pytest.fixture()
+def small_series():
+    values = np.random.default_rng(0).random((4, 3, 3)) * 1e6
+    return TrafficMatrixSeries(values, ["at", "be", "ch"], bin_seconds=900.0)
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path, small_series):
+        path = tmp_path / "series.csv"
+        save_series_csv(small_series, path)
+        loaded = load_series_csv(path)
+        np.testing.assert_allclose(loaded.values, small_series.values)
+        assert loaded.nodes == small_series.nodes
+        assert loaded.bin_seconds == small_series.bin_seconds
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValidationError):
+            load_series_csv(path)
+
+    def test_rejects_duplicate_entries(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text(
+            "bin,origin,destination,bytes\n0,a,b,1.0\n0,a,b,2.0\n"
+        )
+        with pytest.raises(ValidationError):
+            load_series_csv(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("bin,origin,destination,bytes\n")
+        with pytest.raises(ValidationError):
+            load_series_csv(path)
+
+    def test_missing_entries_default_to_zero(self, tmp_path):
+        path = tmp_path / "sparse.csv"
+        path.write_text(
+            "bin,origin,destination,bytes\n0,a,b,5.0\n1,b,a,7.0\n"
+        )
+        series = load_series_csv(path)
+        assert series.n_timesteps == 2
+        assert series.nodes == ("a", "b")
+        assert series.values[0, 0, 1] == 5.0
+        assert series.values[0, 1, 0] == 0.0
+
+
+class TestTotemXML:
+    def test_round_trip(self, tmp_path):
+        matrix = TrafficMatrix(
+            np.random.default_rng(1).random((4, 4)) * 1e7, ["at", "be", "ch", "de"]
+        )
+        path = tmp_path / "tm.xml"
+        matrix_to_totem_xml(matrix, path)
+        loaded = matrix_from_totem_xml(path)
+        assert loaded.nodes == matrix.nodes
+        np.testing.assert_allclose(loaded.values, matrix.values)
+
+    def test_rejects_malformed_xml(self, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_text("<TrafficMatrixFile><IntraTM>")
+        with pytest.raises(ValidationError):
+            matrix_from_totem_xml(path)
+
+    def test_rejects_xml_without_intratm(self, tmp_path):
+        path = tmp_path / "other.xml"
+        path.write_text("<Something/>")
+        with pytest.raises(ValidationError):
+            matrix_from_totem_xml(path)
+
+    def test_accepts_intratm_root(self, tmp_path):
+        path = tmp_path / "root.xml"
+        path.write_text(
+            '<IntraTM><src id="a"><dst id="a">0.0</dst><dst id="b">3.5</dst></src>'
+            '<src id="b"><dst id="a">1.5</dst><dst id="b">0.0</dst></src></IntraTM>'
+        )
+        matrix = matrix_from_totem_xml(path)
+        assert matrix.flow("a", "b") == 3.5
+        assert matrix.flow("b", "a") == 1.5
+
+
+class TestTopologyJSON:
+    def test_round_trip_geant(self, tmp_path):
+        topology = geant_topology()
+        path = tmp_path / "geant.json"
+        topology_to_json(topology, path)
+        loaded = topology_from_json(path)
+        assert loaded.name == topology.name
+        assert loaded.nodes == topology.nodes
+        assert {link.key for link in loaded.links} == {link.key for link in topology.links}
+        assert loaded.link("at", "hu").weight == topology.link("at", "hu").weight
+
+    def test_round_trip_from_string(self):
+        text = topology_to_json(abilene_topology())
+        loaded = topology_from_json(text)
+        assert loaded.n_nodes == 11
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ValidationError):
+            topology_from_json('{"name": "x", "nodes": ["a"]}')
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ValidationError):
+            topology_from_json("{not json")
+
+    def test_rejects_link_without_endpoints(self):
+        with pytest.raises(ValidationError):
+            topology_from_json(
+                '{"name": "x", "nodes": ["a", "b"], "links": [{"source": "a"}]}'
+            )

@@ -1,0 +1,110 @@
+"""Tests for shortest-path routing and routing-matrix construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.library import abilene_topology, geant_topology
+from repro.topology.routing import build_routing_matrix, shortest_paths
+from repro.topology.topology import Topology
+
+
+def make_line() -> Topology:
+    """a - b - c with unit weights: the a->c path must use both links."""
+    topology = Topology("line", ["a", "b", "c"])
+    topology.add_bidirectional_link("a", "b")
+    topology.add_bidirectional_link("b", "c")
+    return topology
+
+
+def make_square() -> Topology:
+    """A 4-cycle with equal weights: two equal-cost paths between opposite corners."""
+    topology = Topology("square", ["a", "b", "c", "d"])
+    for pair in (("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")):
+        topology.add_bidirectional_link(*pair)
+    return topology
+
+
+class TestShortestPaths:
+    def test_line_path(self):
+        paths = shortest_paths(make_line())
+        assert paths[("a", "c")] == [["a", "b", "c"]]
+        assert paths[("a", "a")] == [["a"]]
+
+    def test_all_paths_mode_finds_both_ecmp_paths(self):
+        paths = shortest_paths(make_square(), all_paths=True)
+        assert len(paths[("a", "c")]) == 2
+
+    def test_respects_weights(self):
+        topology = Topology("w", ["a", "b", "c"])
+        topology.add_bidirectional_link("a", "b", weight=10.0)
+        topology.add_bidirectional_link("b", "c", weight=10.0)
+        topology.add_bidirectional_link("a", "c", weight=50.0)
+        paths = shortest_paths(topology)
+        assert paths[("a", "c")] == [["a", "b", "c"]]
+
+
+class TestRoutingMatrix:
+    def test_line_matrix_entries(self):
+        routing = build_routing_matrix(make_line())
+        column = routing.column("a", "c")
+        used = {routing.links[r].key for r in np.nonzero(column)[0]}
+        assert used == {("a", "b"), ("b", "c")}
+        np.testing.assert_allclose(column[np.nonzero(column)], 1.0)
+
+    def test_intra_pop_columns_are_zero(self):
+        routing = build_routing_matrix(make_line())
+        for node in ("a", "b", "c"):
+            np.testing.assert_allclose(routing.column(node, node), 0.0)
+
+    def test_ecmp_splits_traffic(self):
+        routing = build_routing_matrix(make_square(), ecmp=True)
+        column = routing.column("a", "c")
+        nonzero = column[np.nonzero(column)]
+        np.testing.assert_allclose(nonzero, 0.5)
+        assert nonzero.size == 4  # two 2-hop paths
+
+    def test_no_ecmp_uses_single_path(self):
+        routing = build_routing_matrix(make_square(), ecmp=False)
+        column = routing.column("a", "c")
+        assert np.count_nonzero(column) == 2
+        np.testing.assert_allclose(column[np.nonzero(column)], 1.0)
+
+    def test_column_sums_equal_path_hop_counts(self):
+        """Each OD column sums to its (expected) path length in hops."""
+        topology = make_line()
+        routing = build_routing_matrix(topology)
+        paths = shortest_paths(topology)
+        n = topology.n_nodes
+        for (origin, destination), node_paths in paths.items():
+            column = routing.column(origin, destination)
+            expected = np.mean([len(p) - 1 for p in node_paths])
+            assert column.sum() == pytest.approx(expected)
+
+    def test_link_loads_shapes(self):
+        routing = build_routing_matrix(make_line())
+        single = routing.link_loads(np.ones(9))
+        batch = routing.link_loads(np.ones((5, 9)))
+        assert single.shape == (routing.n_links,)
+        assert batch.shape == (5, routing.n_links)
+
+    def test_rank_is_deficient(self):
+        """The estimation problem must be under-constrained (rank < n^2)."""
+        routing = build_routing_matrix(geant_topology())
+        assert routing.rank() < routing.n_nodes**2
+
+    def test_traffic_conservation_on_abilene(self):
+        """Total bytes on first-hop links of an OD pair equal the OD volume."""
+        topology = abilene_topology()
+        routing = build_routing_matrix(topology)
+        n = topology.n_nodes
+        rng = np.random.default_rng(0)
+        tm = rng.random((n, n))
+        np.fill_diagonal(tm, 0.0)
+        loads = routing.link_loads(tm.reshape(-1))
+        # Sum of loads on links leaving node i equals traffic originated at i
+        # plus transit traffic through i; at minimum it is >= the origin total.
+        for i, node in enumerate(topology.nodes):
+            outgoing = [r for r, link in enumerate(routing.links) if link.source == node]
+            assert loads[outgoing].sum() >= tm[i].sum() - 1e-9

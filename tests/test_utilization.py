@@ -1,0 +1,82 @@
+"""Tests for link-utilization analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.traffic_matrix import TrafficMatrixSeries
+from repro.errors import ValidationError
+from repro.topology.library import abilene_topology
+from repro.topology.routing import build_routing_matrix
+from repro.topology.topology import Topology
+from repro.topology.utilization import compute_link_utilization
+
+
+def make_line_topology() -> Topology:
+    topology = Topology("line", ["a", "b", "c"])
+    topology.add_bidirectional_link("a", "b", capacity=1e9)
+    topology.add_bidirectional_link("b", "c", capacity=1e9)
+    return topology
+
+
+class TestComputeLinkUtilization:
+    def test_single_flow_loads_expected_links(self):
+        topology = make_line_topology()
+        values = np.zeros((1, 3, 3))
+        values[0, 0, 2] = 1e6  # a -> c: must cross a->b and b->c
+        series = TrafficMatrixSeries(values, topology.nodes, bin_seconds=100.0)
+        report = compute_link_utilization(topology, series)
+        expected_bps = 1e6 * 8.0 / 100.0
+        loads = {f"{l.source}->{l.target}": report.loads_bps[0, r] for r, l in enumerate(report.routing.links)}
+        assert loads["a->b"] == pytest.approx(expected_bps)
+        assert loads["b->c"] == pytest.approx(expected_bps)
+        assert loads["b->a"] == 0.0
+
+    def test_utilization_scale(self):
+        topology = make_line_topology()
+        values = np.zeros((1, 3, 3))
+        values[0, 0, 1] = 1e9 / 8.0 * 100.0  # exactly fills the 1 Gbps a->b link
+        series = TrafficMatrixSeries(values, topology.nodes, bin_seconds=100.0)
+        report = compute_link_utilization(topology, series)
+        assert report.peak_utilization == pytest.approx(1.0)
+        assert report.overloaded_links(threshold=0.99) == ["a->b"]
+
+    def test_busiest_links_sorted(self):
+        topology = abilene_topology()
+        rng = np.random.default_rng(0)
+        values = rng.random((4, 11, 11)) * 1e8
+        series = TrafficMatrixSeries(values, topology.nodes, bin_seconds=300.0)
+        report = compute_link_utilization(topology, series)
+        busiest = report.busiest_links(3)
+        assert len(busiest) == 3
+        assert busiest[0][1] >= busiest[1][1] >= busiest[2][1]
+
+    def test_accepts_prebuilt_routing(self):
+        topology = abilene_topology()
+        routing = build_routing_matrix(topology)
+        values = np.ones((2, 11, 11)) * 1e6
+        series = TrafficMatrixSeries(values, topology.nodes)
+        report = compute_link_utilization(topology, series, routing=routing)
+        assert report.loads_bps.shape == (2, routing.n_links)
+
+    def test_node_mismatch_rejected(self):
+        topology = make_line_topology()
+        series = TrafficMatrixSeries(np.ones((1, 3, 3)), ["x", "y", "z"])
+        with pytest.raises(ValidationError):
+            compute_link_utilization(topology, series)
+
+    def test_foreign_routing_rejected(self):
+        topology = make_line_topology()
+        other_routing = build_routing_matrix(abilene_topology())
+        series = TrafficMatrixSeries(np.ones((1, 3, 3)), topology.nodes)
+        with pytest.raises(ValidationError):
+            compute_link_utilization(topology, series, routing=other_routing)
+
+    def test_per_link_maxima_shape(self):
+        topology = abilene_topology()
+        values = np.random.default_rng(1).random((3, 11, 11)) * 1e7
+        series = TrafficMatrixSeries(values, topology.nodes)
+        report = compute_link_utilization(topology, series)
+        assert report.max_utilization_per_link().shape == (report.routing.n_links,)
+        assert np.all(report.max_utilization_per_link() >= 0)

@@ -1,0 +1,113 @@
+"""Unit tests for the internal validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import _validation as v
+from repro.errors import ShapeError, ValidationError
+
+
+class TestAs1DArray:
+    def test_accepts_list(self):
+        result = v.as_1d_array([1, 2, 3], "x")
+        assert result.dtype == float
+        assert result.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ShapeError):
+            v.as_1d_array([[1, 2], [3, 4]], "x")
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ShapeError):
+            v.as_1d_array([1, 2, 3], "x", length=4)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            v.as_1d_array([1.0, float("nan")], "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            v.as_1d_array([1.0, float("inf")], "x")
+
+
+class TestAsSquareMatrix:
+    def test_accepts_square(self):
+        result = v.as_square_matrix([[1, 2], [3, 4]], "m")
+        assert result.shape == (2, 2)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            v.as_square_matrix([[1, 2, 3], [4, 5, 6]], "m")
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ShapeError):
+            v.as_square_matrix([[1, 2], [3, 4]], "m", size=3)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ShapeError):
+            v.as_square_matrix([1, 2, 3], "m")
+
+
+class TestAsSeriesArray:
+    def test_promotes_single_matrix(self):
+        result = v.as_series_array([[1.0, 2.0], [3.0, 4.0]], "s")
+        assert result.shape == (1, 2, 2)
+
+    def test_accepts_stack(self):
+        result = v.as_series_array(np.ones((5, 3, 3)), "s")
+        assert result.shape == (5, 3, 3)
+
+    def test_rejects_non_square_timesteps(self):
+        with pytest.raises(ShapeError):
+            v.as_series_array(np.ones((5, 3, 4)), "s")
+
+    def test_rejects_wrong_node_count(self):
+        with pytest.raises(ShapeError):
+            v.as_series_array(np.ones((5, 3, 3)), "s", nodes=4)
+
+
+class TestRequireHelpers:
+    def test_nonnegative_clips_tiny_negatives(self):
+        result = v.require_nonnegative(np.array([-1e-12, 1.0]), "x", tolerance=1e-9)
+        assert result[0] == 0.0
+
+    def test_nonnegative_rejects_real_negatives(self):
+        with pytest.raises(ValidationError):
+            v.require_nonnegative(np.array([-0.5, 1.0]), "x")
+
+    def test_probability_bounds(self):
+        assert v.require_probability(0.0, "p") == 0.0
+        assert v.require_probability(1.0, "p") == 1.0
+        with pytest.raises(ValidationError):
+            v.require_probability(1.5, "p")
+        with pytest.raises(ValidationError):
+            v.require_probability(-0.1, "p")
+
+    def test_positive_int(self):
+        assert v.require_positive_int(3, "n") == 3
+        with pytest.raises(ValidationError):
+            v.require_positive_int(0, "n")
+        with pytest.raises(ValidationError):
+            v.require_positive_int(2.5, "n")
+
+    def test_normalized(self):
+        result = v.normalized(np.array([1.0, 3.0]), "p")
+        assert result.sum() == pytest.approx(1.0)
+        with pytest.raises(ValidationError):
+            v.normalized(np.zeros(3), "p")
+
+
+class TestNodeNames:
+    def test_defaults_generated(self):
+        names = v.node_names(None, 3)
+        assert names == ("node00", "node01", "node02")
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ShapeError):
+            v.node_names(["a", "b"], 3)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValidationError):
+            v.node_names(["a", "a", "b"], 3)
