@@ -21,9 +21,18 @@ every substrate the paper's evaluation depends on:
 * parameter characterisation tools (:mod:`repro.characterization`), and
 * one experiment driver per figure of the paper (:mod:`repro.experiments`).
 
+The package's composition layer is the Scenario API: named components
+(models, priors, estimators, datasets, topologies) live in the registries of
+:mod:`repro.registry`, and :mod:`repro.scenarios` provides the declarative
+:class:`Scenario` configuration plus the :class:`ScenarioRunner` that
+executes one scenario or a whole grid.  The ``repro`` CLI
+(``python -m repro``) is a thin shell over both.
+
 The public API is re-exported here for convenience::
 
-    from repro import TrafficMatrixSeries, fit_stable_fp, gravity_series
+    from repro import Scenario, ScenarioRunner, TrafficMatrixSeries
+
+    result = ScenarioRunner().run(Scenario(dataset="geant", prior="stable_fp"))
 """
 
 from repro.core.traffic_matrix import TrafficMatrix, TrafficMatrixSeries
@@ -57,9 +66,30 @@ from repro.core.priors import (
     StableFPPrior,
     StableFPrior,
 )
-from repro.errors import ReproError, ShapeError, ValidationError
+from repro.errors import RegistryError, ReproError, ShapeError, ValidationError
+from repro.registry import (
+    DATASETS,
+    ESTIMATORS,
+    MODELS,
+    PRIORS,
+    TOPOLOGIES,
+    Registry,
+    register_dataset,
+    register_estimator,
+    register_model,
+    register_prior,
+    register_topology,
+)
+from repro.scenarios import (
+    Scenario,
+    ScenarioResult,
+    ScenarioRunner,
+    SweepResult,
+    run_scenario,
+    sweep,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TrafficMatrix",
@@ -89,7 +119,25 @@ __all__ = [
     "StableFPPrior",
     "StableFPrior",
     "ReproError",
+    "RegistryError",
     "ShapeError",
     "ValidationError",
+    "Registry",
+    "MODELS",
+    "PRIORS",
+    "ESTIMATORS",
+    "DATASETS",
+    "TOPOLOGIES",
+    "register_model",
+    "register_prior",
+    "register_estimator",
+    "register_dataset",
+    "register_topology",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "SweepResult",
+    "run_scenario",
+    "sweep",
     "__version__",
 ]

@@ -1,0 +1,34 @@
+"""Minimal fixed-width ASCII table rendering.
+
+Shared by the experiment drivers, the scenario runner and the CLI, all of
+which print small result tables.  Lives in its own module so that
+:mod:`repro.scenarios` does not need to import the experiments package.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_rows"]
+
+
+def format_rows(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple fixed-width ASCII table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in text_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    line = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(value.ljust(widths[i]) for i, value in enumerate(row)) for row in text_rows
+    ]
+    return "\n".join([line, separator, *body])
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

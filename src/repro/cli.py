@@ -1,84 +1,240 @@
-"""Command-line entry point: run any experiment and print its table.
+"""Command-line interface: subcommands over the registries and scenarios.
 
 Usage::
 
-    python -m repro.cli fig3 --dataset geant
-    python -m repro.cli fig11 --dataset totem --full-scale
-    python -m repro.cli all
+    python -m repro run fig3 --dataset geant
+    python -m repro run all
+    python -m repro estimate --prior stable_fp --dataset geant
+    python -m repro sweep --priors measured stable_f --datasets geant totem
+    python -m repro list priors
 
-``all`` runs every experiment at the fast default scale and prints each
-table, which is a quick way to regenerate the complete set of results
-recorded in ``EXPERIMENTS.md``.
+``run`` executes a figure-reproduction experiment, ``estimate`` a single
+declarative scenario, ``sweep`` a priors × datasets grid through the
+:class:`repro.scenarios.ScenarioRunner`, and ``list`` shows the registered
+components of any kind.  Unknown component or experiment names exit with
+status 2 and a message naming the valid registered choices.
+
+The bare legacy form ``python -m repro.cli fig3`` (no subcommand) is still
+accepted and treated as ``run fig3``.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 import time
 
-from repro.experiments import EXPERIMENTS
+from repro.errors import ReproError
+from repro.registry import EXPERIMENTS_REGISTRY, REGISTRIES
+from repro.scenarios import Scenario, ScenarioRunner
 
 __all__ = ["main", "build_parser"]
 
+USAGE_EXIT_CODE = 2
+
+
+def _add_scenario_knobs(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``estimate`` and ``sweep`` (Scenario fields)."""
+    parser.add_argument("--estimator", default="tomogravity",
+                        help="registered estimator to refine the prior with")
+    parser.add_argument("--bins-per-week", type=int, default=None,
+                        help="override the number of time bins per week")
+    parser.add_argument("--full-scale", action="store_true",
+                        help="use paper-sized workloads (slower)")
+    parser.add_argument("--max-bins", type=int, default=48,
+                        help="cap on bins pushed through the pipeline (0 = whole week)")
+    parser.add_argument("--calibration-week", type=int, default=0,
+                        help="week used to calibrate the prior")
+    parser.add_argument("--target-week", type=int, default=None,
+                        help="week being estimated (default: the prior's paper setup)")
+    parser.add_argument("--measurement-noise", type=float, default=0.01,
+                        help="relative std of simulated SNMP noise")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="measurement-noise seed")
+    parser.add_argument("--dataset-seed", type=int, default=None,
+                        help="override the dataset generation seed")
+
 
 def build_parser() -> argparse.ArgumentParser:
-    """The argument parser for the ``repro.cli`` entry point."""
+    """The argument parser for the ``repro`` entry point."""
     parser = argparse.ArgumentParser(
-        prog="python -m repro.cli",
-        description="Run a reproduction experiment and print its result table.",
+        prog="repro",
+        description="Reproduce and extend the independent-connection traffic-matrix model.",
     )
-    parser.add_argument(
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="run a figure-reproduction experiment and print its table"
+    )
+    run.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=[*EXPERIMENTS_REGISTRY.names(), "all"],
         help="experiment identifier (paper figure number) or 'all'",
     )
-    parser.add_argument(
-        "--dataset",
-        choices=("geant", "totem"),
+    run.add_argument("--dataset", default=None,
+                     help="registered dataset, for experiments that take one")
+    run.add_argument("--full-scale", action="store_true",
+                     help="use paper-sized workloads (slower) where supported")
+    run.add_argument("--bins-per-week", type=int, default=None,
+                     help="override the number of time bins per week")
+    run.set_defaults(handler=_cmd_run)
+
+    estimate = subparsers.add_parser(
+        "estimate", help="run one estimation scenario (prior × dataset × estimator)"
+    )
+    estimate.add_argument("--prior", required=True, help="registered prior to estimate with")
+    estimate.add_argument("--dataset", required=True, help="registered dataset to estimate on")
+    estimate.add_argument("--topology", default=None,
+                          help="registered topology overriding the dataset's own")
+    estimate.add_argument("--forward-fraction", type=float, default=None,
+                          help="externally measured f, for priors that use one")
+    estimate.add_argument("--no-baseline", action="store_true",
+                          help="skip the gravity-baseline comparison run")
+    _add_scenario_knobs(estimate)
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a priors × datasets grid and print a comparison table"
+    )
+    sweep.add_argument("--priors", nargs="+", default=("measured", "stable_fp", "stable_f"),
+                       help="registered priors spanning the grid rows")
+    sweep.add_argument("--datasets", nargs="+", default=("geant", "totem"),
+                       help="registered datasets spanning the grid columns")
+    sweep.add_argument("--timing", action="store_true",
+                       help="also print the per-cell timing breakdown")
+    _add_scenario_knobs(sweep)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    lister = subparsers.add_parser(
+        "list", help="list registered components (priors, datasets, ...)"
+    )
+    lister.add_argument(
+        "kind",
+        nargs="?",
+        choices=sorted(REGISTRIES),
         default=None,
-        help="dataset to use, for experiments that take one",
+        help="component kind to list (default: every registry)",
     )
-    parser.add_argument(
-        "--full-scale",
-        action="store_true",
-        help="use paper-sized workloads (slower) where supported",
-    )
-    parser.add_argument(
-        "--bins-per-week",
-        type=int,
-        default=None,
-        help="override the number of time bins per week",
-    )
+    lister.set_defaults(handler=_cmd_list)
+
     return parser
 
 
+# ---------------------------------------------------------------------------
+# subcommand handlers
+# ---------------------------------------------------------------------------
+
 def _run_one(name: str, args: argparse.Namespace) -> str:
-    runner = EXPERIMENTS[name]
-    signature = inspect.signature(runner)
+    entry = EXPERIMENTS_REGISTRY.entry(name)
+    accepts = entry.metadata.get("accepts", ())
     kwargs = {}
-    if args.dataset is not None and "dataset" in signature.parameters:
+    if args.dataset is not None and "dataset" in accepts:
         kwargs["dataset"] = args.dataset
-    if "full_scale" in signature.parameters and args.full_scale:
+    if args.full_scale and "full_scale" in accepts:
         kwargs["full_scale"] = True
-    if "bins_per_week" in signature.parameters and args.bins_per_week is not None:
+    if args.bins_per_week is not None and "bins_per_week" in accepts:
         kwargs["bins_per_week"] = args.bins_per_week
     started = time.perf_counter()
-    result = runner(**kwargs)
+    result = entry.obj(**kwargs)
     elapsed = time.perf_counter() - started
     header = f"=== {name} ({elapsed:.1f}s) ==="
     return f"{header}\n{result.format_table()}\n"
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Run the CLI; returns the process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = (
+        list(EXPERIMENTS_REGISTRY.names()) if args.experiment == "all" else [args.experiment]
+    )
     for name in names:
         print(_run_one(name, args))
     return 0
+
+
+def _scenario_from_args(args: argparse.Namespace, *, dataset: str, prior: str) -> Scenario:
+    return Scenario(
+        dataset=dataset,
+        prior=prior,
+        estimator=args.estimator,
+        topology=getattr(args, "topology", None),
+        calibration_week=args.calibration_week,
+        target_week=args.target_week,
+        bins_per_week=args.bins_per_week,
+        full_scale=args.full_scale,
+        max_bins=args.max_bins if args.max_bins and args.max_bins > 0 else None,
+        measurement_noise=args.measurement_noise,
+        seed=args.seed,
+        dataset_seed=args.dataset_seed,
+        measured_forward_fraction=getattr(args, "forward_fraction", None),
+    )
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args, dataset=args.dataset, prior=args.prior)
+    runner = ScenarioRunner(baseline_prior=None if args.no_baseline else "gravity")
+    result = runner.run(scenario)
+    print(f"=== {scenario.label} ===")
+    print(result.format_table())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    base = _scenario_from_args(args, dataset=args.datasets[0], prior=args.priors[0])
+    for prior in args.priors:
+        base.replace(prior=prior).validate()
+    for dataset in args.datasets:
+        base.replace(dataset=dataset).validate()
+    result = ScenarioRunner().sweep(priors=args.priors, datasets=args.datasets, base=base)
+    grid = len(args.priors) * len(args.datasets)
+    print(f"=== sweep: {len(args.priors)} priors x {len(args.datasets)} datasets "
+          f"({len(result.results)}/{grid} cells ok) ===")
+    print(result.format_table())
+    if args.timing and result.results:
+        print()
+        print(result.format_timing())
+    return 0 if result.results else USAGE_EXIT_CODE
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    kinds = [args.kind] if args.kind else sorted(REGISTRIES)
+    for index, kind in enumerate(kinds):
+        registry = REGISTRIES[kind]
+        if index:
+            print()
+        print(f"{kind}:")
+        for entry in registry.entries():
+            description = f"  {entry.description}" if entry.description else ""
+            print(f"  {entry.name:<14}{description}")
+    return 0
+
+
+_SUBCOMMANDS = frozenset({"run", "estimate", "sweep", "list", "-h", "--help"})
+
+
+def _is_legacy_invocation(argv: list[str]) -> bool:
+    """Whether ``argv`` is the seed-era form without a subcommand.
+
+    The seed parser took the experiment as the only positional, and argparse
+    accepted flags in any position (``--full-scale fig2``), so any invocation
+    that skips the subcommand but names an experiment anywhere is legacy.
+    """
+    if not argv or argv[0] in _SUBCOMMANDS:
+        return False
+    return any(token == "all" or token in EXPERIMENTS_REGISTRY for token in argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the CLI; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if _is_legacy_invocation(argv):
+        # Legacy form: ``python -m repro.cli fig3 [--dataset ...]``.
+        argv.insert(0, "run")
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return USAGE_EXIT_CODE
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests

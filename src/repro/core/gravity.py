@@ -22,6 +22,7 @@ import numpy as np
 from repro._validation import as_1d_array, require_nonnegative
 from repro.core.traffic_matrix import TrafficMatrix, TrafficMatrixSeries
 from repro.errors import ShapeError
+from repro.registry import register_model
 
 __all__ = ["gravity_matrix", "gravity_series", "GravityModel"]
 
@@ -62,6 +63,7 @@ def gravity_series(series) -> TrafficMatrixSeries:
     return TrafficMatrixSeries(estimates, series.nodes, bin_seconds=series.bin_seconds)
 
 
+@register_model("gravity", description="Gravity model: independent ingress/egress (the accuracy baseline)")
 class GravityModel:
     """Object-style wrapper mirroring the IC model classes.
 

@@ -39,6 +39,7 @@ from repro._validation import (
 )
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.errors import ShapeError, ValidationError
+from repro.registry import register_model
 
 __all__ = [
     "ICParameters",
@@ -172,6 +173,7 @@ class ICParameters:
 # model classes
 # ---------------------------------------------------------------------------
 
+@register_model("general", description="General IC model: per-pair forward fractions f_ij (Eq. 1)")
 class GeneralICModel:
     """General IC model with a full ``f_ij`` matrix and fixed preferences.
 
@@ -215,6 +217,7 @@ class GeneralICModel:
         return TrafficMatrixSeries(matrices, self._nodes, bin_seconds=bin_seconds)
 
 
+@register_model("simplified", description="Simplified IC model: one network-wide f (Eq. 2)")
 class SimplifiedICModel:
     """Simplified IC model: scalar ``f``, fixed preferences, activity per call."""
 
@@ -248,6 +251,7 @@ class SimplifiedICModel:
         return TrafficMatrixSeries(matrices, self._nodes, bin_seconds=bin_seconds)
 
 
+@register_model("stable_fp", description="Stable-fP IC model: f and P fixed, A_i(t) varies (Eq. 5)")
 class StableFPICModel(SimplifiedICModel):
     """Stable-fP IC model (Eq. 5): ``f`` and ``P`` fixed, ``A_i(t)`` varies.
 
@@ -263,6 +267,7 @@ class StableFPICModel(SimplifiedICModel):
         return degrees_of_freedom(self.name, self.n_nodes, timesteps)
 
 
+@register_model("stable_f", description="Stable-f IC model: f fixed, A_i(t) and P_i(t) vary (Eq. 4)")
 class StableFICModel:
     """Stable-f IC model (Eq. 4): ``f`` fixed; ``A_i(t)`` and ``P_i(t)`` vary."""
 
@@ -301,6 +306,7 @@ class StableFICModel:
         return degrees_of_freedom(self.name, n_nodes, timesteps)
 
 
+@register_model("time_varying", description="Time-varying IC model: f(t), A_i(t), P_i(t) all vary (Eq. 3)")
 class TimeVaryingICModel:
     """Time-varying IC model (Eq. 3): ``f(t)``, ``A_i(t)`` and ``P_i(t)`` all vary."""
 

@@ -21,6 +21,8 @@ Four priors are provided, ordered by how much side information they assume:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro._validation import (
@@ -33,12 +35,14 @@ from repro.core.gravity import gravity_matrix
 from repro.core.ic_model import simplified_ic_matrix, simplified_ic_series
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.errors import ShapeError, ValidationError
+from repro.registry import register_prior
 
 __all__ = [
     "GravityPrior",
     "MeasuredParameterPrior",
     "StableFPPrior",
     "StableFPrior",
+    "PriorContext",
     "ic_design_matrix",
     "marginal_operators",
     "estimate_activity_from_marginals",
@@ -246,6 +250,43 @@ class StableFPPrior:
         return TrafficMatrixSeries(matrices, nodes, bin_seconds=bin_seconds)
 
 
+@dataclass(frozen=True)
+class PriorContext:
+    """Everything a registered prior strategy may draw on to build its series.
+
+    Attributes
+    ----------
+    dataset:
+        The :class:`repro.synthesis.datasets.SyntheticDataset` the scenario
+        runs on (supplies calibration weeks and generating ground truth).
+    target:
+        Ground-truth traffic of the week being estimated, already trimmed to
+        the scenario's bin budget.
+    system:
+        The simulated measurements (:class:`repro.estimation.linear_system.LinkLoadSystem`):
+        link loads plus ingress/egress marginals — the only observables an
+        operator would have.
+    calibration_week, target_week:
+        Week indices into ``dataset``.
+    measured_forward_fraction:
+        Optional externally measured ``f`` (e.g. from a Figure 4 trace
+        study); strategies that only need ``f`` prefer it over the dataset's
+        generating value.
+    """
+
+    dataset: object
+    target: TrafficMatrixSeries
+    system: object
+    calibration_week: int
+    target_week: int
+    measured_forward_fraction: float | None = None
+
+    @property
+    def calibration(self) -> TrafficMatrixSeries:
+        """The full (untrimmed) calibration week of traffic."""
+        return self.dataset.week(self.calibration_week)
+
+
 class StableFPrior:
     """Section 6.3 prior: only ``f`` is known; ``A`` and ``P`` from marginals per bin."""
 
@@ -278,3 +319,81 @@ class StableFPrior:
             ]
         )
         return TrafficMatrixSeries(matrices, nodes, bin_seconds=bin_seconds)
+
+
+# ---------------------------------------------------------------------------
+# registered prior strategies (the Scenario API surface)
+# ---------------------------------------------------------------------------
+#
+# Each strategy is a callable ``context -> TrafficMatrixSeries`` registered
+# under the prior's public name.  The ``week_mode`` metadata tells the
+# scenario runner how to resolve a missing ``target_week``: ``"same"``
+# estimates the calibration week itself, ``"next"`` the following week, and
+# ``"gap"`` the dataset-specific calibration gap (which must be non-zero).
+
+@register_prior(
+    "gravity",
+    description="Gravity baseline prior built from the per-bin ingress/egress marginals",
+    metadata={"display": "gravity", "week_mode": "same", "side_information": "none"},
+)
+def build_gravity_prior(context: PriorContext) -> TrafficMatrixSeries:
+    """Gravity prior from the measured marginals (the Section 6 baseline)."""
+    return GravityPrior().series(
+        context.system.ingress,
+        context.system.egress,
+        nodes=context.target.nodes,
+        bin_seconds=context.target.bin_seconds,
+    )
+
+
+@register_prior(
+    "measured",
+    description="All IC parameters measured on the target week (Section 6.1 thought experiment)",
+    metadata={"display": "measured", "week_mode": "same", "side_information": "f, P, A(t)"},
+)
+def build_measured_prior(context: PriorContext) -> TrafficMatrixSeries:
+    """Fit stable-fP parameters to the target week itself and compose the prior."""
+    from repro.core.fitting import fit_stable_fp
+
+    fit = fit_stable_fp(context.target)
+    prior = MeasuredParameterPrior.from_fit(fit)
+    return prior.series(nodes=context.target.nodes, bin_seconds=context.target.bin_seconds)
+
+
+@register_prior(
+    "stable_fp",
+    description="f and P fitted to a previous calibration week; A(t) recovered from marginals (Section 6.2)",
+    metadata={"display": "stable-fP", "week_mode": "gap", "side_information": "f, P"},
+)
+def build_stable_fp_prior(context: PriorContext) -> TrafficMatrixSeries:
+    """Calibrate ``f``/``P`` on an earlier week, infer activity via Eqs. 7-9."""
+    from repro.core.fitting import fit_stable_fp
+
+    fit = fit_stable_fp(context.calibration)
+    prior = StableFPPrior.from_fit(fit)
+    return prior.series(
+        context.system.ingress,
+        context.system.egress,
+        nodes=context.target.nodes,
+        bin_seconds=context.target.bin_seconds,
+    )
+
+
+@register_prior(
+    "stable_f",
+    description="Only f is known; A and P recovered per bin from the marginals (Section 6.3)",
+    metadata={"display": "stable-f", "week_mode": "next", "side_information": "f"},
+)
+def build_stable_f_prior(context: PriorContext) -> TrafficMatrixSeries:
+    """Use a trace-measured ``f`` and the closed forms of Eqs. 11-12."""
+    forward = context.measured_forward_fraction
+    if forward is None:
+        truth = context.dataset.ground_truths[context.calibration_week]
+        forward = float(truth.forward_fraction)
+    prior = StableFPrior(float(forward))
+    return prior.series(
+        context.system.ingress,
+        context.system.egress,
+        nodes=context.target.nodes,
+        bin_seconds=context.target.bin_seconds,
+    )

@@ -15,6 +15,10 @@ class ValidationError(ReproError, ValueError):
     """Raised when an input value fails validation (range, sign, sum, ...)."""
 
 
+class RegistryError(ReproError, ValueError):
+    """Raised for component-registry problems: unknown names or duplicates."""
+
+
 class ShapeError(ReproError, ValueError):
     """Raised when an array argument has an incompatible shape."""
 

@@ -20,8 +20,14 @@ from repro.estimation.ipf import iterative_proportional_fitting
 from repro.estimation.linear_system import LinkLoadSystem
 from repro.estimation.tomogravity import tomogravity_estimate
 from repro.estimation.entropy import entropy_estimate
+from repro.registry import register_estimator
 
-__all__ = ["EstimationResult", "TMEstimator"]
+__all__ = [
+    "EstimationResult",
+    "TMEstimator",
+    "make_tomogravity_estimator",
+    "make_entropy_estimator",
+]
 
 
 @dataclass
@@ -159,3 +165,21 @@ class TMEstimator:
             name: self.estimate(system, prior, ground_truth=ground_truth)
             for name, prior in priors.items()
         }
+
+
+@register_estimator(
+    "tomogravity",
+    description="Weighted least-squares refinement against link counts, then IPF",
+)
+def make_tomogravity_estimator(**kwargs) -> TMEstimator:
+    """Factory for the default tomogravity-refinement estimator."""
+    return TMEstimator(method="tomogravity", **kwargs)
+
+
+@register_estimator(
+    "entropy",
+    description="KL-divergence regularised refinement against link counts, then IPF",
+)
+def make_entropy_estimator(**kwargs) -> TMEstimator:
+    """Factory for the entropy-regularised estimator."""
+    return TMEstimator(method="entropy", **kwargs)

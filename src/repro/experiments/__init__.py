@@ -6,9 +6,12 @@ paper-sized workload.  Results are small dataclasses with a ``format_table()``
 method producing the ASCII equivalent of the paper's figure, so the benchmark
 harness and the CLI can print directly comparable output.
 
-The :data:`EXPERIMENTS` registry maps experiment identifiers (``"fig3"``,
-``"fig11"``, ...) to their run functions; ``python -m repro.cli <id>`` runs
-one from the command line.
+Each driver is registered in :data:`repro.registry.EXPERIMENTS_REGISTRY`
+under its figure identifier with an ``accepts`` metadata tuple naming the
+CLI-settable knobs it understands; ``python -m repro run <id>`` runs one
+from the command line.  The estimation figures (11-13) are thin wrappers
+over :mod:`repro.scenarios`.  :data:`EXPERIMENTS` remains as the plain
+name → function mapping.
 """
 
 from repro.experiments.example_network import run_example_network
@@ -23,21 +26,33 @@ from repro.experiments.fig10_routing_asymmetry import run_routing_asymmetry
 from repro.experiments.fig11_estimation_measured import run_estimation_measured
 from repro.experiments.fig12_estimation_stable_fp import run_estimation_stable_fp
 from repro.experiments.fig13_estimation_stable_f import run_estimation_stable_f
+from repro.registry import EXPERIMENTS_REGISTRY
 
-EXPERIMENTS = {
-    "fig2": run_example_network,
-    "fig3": run_model_fit,
-    "fig4": run_f_from_traces,
-    "fig5": run_f_stability,
-    "fig6": run_preference_stability,
-    "fig7": run_preference_ccdf,
-    "fig8": run_preference_vs_egress,
-    "fig9": run_activity_timeseries,
-    "fig10": run_routing_asymmetry,
-    "fig11": run_estimation_measured,
-    "fig12": run_estimation_stable_fp,
-    "fig13": run_estimation_stable_f,
+_DATASET_KNOBS = ("dataset", "bins_per_week", "full_scale")
+
+# identifier -> (driver, description, CLI-settable keyword parameters)
+_EXPERIMENT_SPECS = {
+    "fig2": (run_example_network, "Example network conditional egress probabilities", ()),
+    "fig3": (run_model_fit, "IC model fit quality vs the gravity model", _DATASET_KNOBS),
+    "fig4": (run_f_from_traces, "Forward fraction f measured from packet traces", ()),
+    "fig5": (run_f_stability, "Week-over-week stability of f", _DATASET_KNOBS),
+    "fig6": (run_preference_stability, "Week-over-week stability of the preference vector", _DATASET_KNOBS),
+    "fig7": (run_preference_ccdf, "CCDF of preference values vs lognormal/exponential", _DATASET_KNOBS),
+    "fig8": (run_preference_vs_egress, "Preference vs egress share (little correlation)", _DATASET_KNOBS),
+    "fig9": (run_activity_timeseries, "Diurnal/weekly activity time series", _DATASET_KNOBS),
+    "fig10": (run_routing_asymmetry, "Simplified-model degradation under routing asymmetry", ()),
+    "fig11": (run_estimation_measured, "TM estimation, all IC parameters measured (Section 6.1)", _DATASET_KNOBS),
+    "fig12": (run_estimation_stable_fp, "TM estimation, f and P from a previous week (Section 6.2)", _DATASET_KNOBS),
+    "fig13": (run_estimation_stable_f, "TM estimation, only f known (Section 6.3)", _DATASET_KNOBS),
 }
+
+for _name, (_runner, _description, _accepts) in _EXPERIMENT_SPECS.items():
+    if _name not in EXPERIMENTS_REGISTRY:
+        EXPERIMENTS_REGISTRY.register(
+            _name, _runner, description=_description, metadata={"accepts": _accepts}
+        )
+
+EXPERIMENTS = {name: spec[0] for name, spec in _EXPERIMENT_SPECS.items()}
 
 __all__ = [
     "EXPERIMENTS",

@@ -8,19 +8,12 @@ session) use the same weeks.
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Sequence
-
-from repro.synthesis.datasets import (
-    SyntheticDataset,
-    make_geant_like_dataset,
-    make_totem_like_dataset,
-)
+from repro._tables import format_rows
+from repro.synthesis.datasets import SyntheticDataset, load_dataset
 
 __all__ = ["get_dataset", "format_rows", "format_series_summary"]
 
 
-@lru_cache(maxsize=8)
 def get_dataset(
     name: str,
     *,
@@ -29,49 +22,24 @@ def get_dataset(
     full_scale: bool = False,
     seed: int | None = None,
 ) -> SyntheticDataset:
-    """Return (and cache) one of the synthetic stand-in datasets.
+    """Return (and cache) a registered synthetic stand-in dataset.
+
+    Thin wrapper over :func:`repro.synthesis.datasets.load_dataset`, kept for
+    backwards compatibility; the cache is shared with the scenario runner so
+    experiments, benchmarks and sweeps reuse the same synthesis runs.
 
     Parameters
     ----------
     name:
-        ``"geant"`` or ``"totem"``.
+        A dataset registered in :data:`repro.registry.DATASETS`
+        (``"geant"`` or ``"totem"`` out of the box).
     n_weeks, bins_per_week, full_scale, seed:
         Passed through to the dataset factory; ``seed=None`` keeps the
         factory default.
     """
-    if name == "geant":
-        kwargs = {"bins_per_week": bins_per_week, "full_scale": full_scale}
-        if seed is not None:
-            kwargs["seed"] = seed
-        return make_geant_like_dataset(n_weeks, **kwargs)
-    if name == "totem":
-        kwargs = {"bins_per_week": bins_per_week, "full_scale": full_scale}
-        if seed is not None:
-            kwargs["seed"] = seed
-        return make_totem_like_dataset(n_weeks, **kwargs)
-    raise ValueError(f"unknown dataset {name!r}; expected 'geant' or 'totem'")
-
-
-def format_rows(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
-    """Render a simple fixed-width ASCII table."""
-    columns = [str(h) for h in headers]
-    text_rows = [[_cell(value) for value in row] for row in rows]
-    widths = [len(column) for column in columns]
-    for row in text_rows:
-        for index, value in enumerate(row):
-            widths[index] = max(widths[index], len(value))
-    line = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
-    separator = "  ".join("-" * width for width in widths)
-    body = [
-        "  ".join(value.ljust(widths[i]) for i, value in enumerate(row)) for row in text_rows
-    ]
-    return "\n".join([line, separator, *body])
-
-
-def _cell(value: object) -> str:
-    if isinstance(value, float):
-        return f"{value:.4g}"
-    return str(value)
+    return load_dataset(
+        name, n_weeks=n_weeks, bins_per_week=bins_per_week, full_scale=full_scale, seed=seed
+    )
 
 
 def format_series_summary(label: str, values) -> str:

@@ -1,35 +1,24 @@
 """Shared machinery for the TM-estimation experiments (Figures 11-13).
 
-All three experiments follow the same protocol:
-
-1. take a calibration week and a target week from a dataset,
-2. simulate the target week's measurements (link loads + marginals) over the
-   dataset's topology,
-3. build the gravity prior and one IC prior from whatever side information
-   the scenario allows,
-4. run the identical tomogravity + IPF pipeline with each prior,
-5. report the per-bin percentage improvement of the IC-prior estimate over
-   the gravity-prior estimate.
-
-Only step 3 differs between the figures, so it is passed in as a callable.
+All three experiments follow the same protocol — simulate a target week's
+measurements, build the gravity prior and one IC prior, run both through the
+identical tomogravity + IPF pipeline, and report the per-bin improvement.
+That protocol now lives in :class:`repro.scenarios.ScenarioRunner`; this
+module keeps the :class:`EstimationComparison` result type the figures (and
+their tests) consume, plus the adapter from a
+:class:`repro.scenarios.ScenarioResult` to it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 
-from repro.core.metrics import percent_improvement, summarize_improvement
-from repro.core.priors import GravityPrior
-from repro.core.traffic_matrix import TrafficMatrixSeries
-from repro.estimation.linear_system import LinkLoadSystem, simulate_link_loads
-from repro.estimation.pipeline import TMEstimator
+from repro.core.metrics import summarize_improvement
 from repro.experiments._common import format_rows
-from repro.synthesis.datasets import SyntheticDataset
 
-__all__ = ["EstimationComparison", "run_prior_comparison"]
+__all__ = ["EstimationComparison", "comparison_from_result"]
 
 
 @dataclass(frozen=True)
@@ -80,58 +69,19 @@ class EstimationComparison:
         return format_rows(["quantity", "value"], rows)
 
 
-def run_prior_comparison(
-    dataset: SyntheticDataset,
-    target_week: TrafficMatrixSeries,
-    build_ic_prior: Callable[[LinkLoadSystem], TrafficMatrixSeries],
-    *,
-    dataset_name: str,
-    scenario: str,
-    measurement_noise: float = 0.01,
-    max_bins: int | None = None,
-    seed: int = 0,
-) -> EstimationComparison:
-    """Run the shared estimation protocol with a scenario-specific IC prior.
-
-    Parameters
-    ----------
-    dataset:
-        The synthetic dataset (supplies the topology).
-    target_week:
-        Ground-truth traffic of the week being estimated.
-    build_ic_prior:
-        Callable receiving the simulated measurements and returning the IC
-        prior series.
-    dataset_name, scenario:
-        Labels for the result.
-    measurement_noise:
-        Relative std of SNMP measurement noise applied to link/marginal counts.
-    max_bins:
-        Optional cap on the number of bins estimated (keeps benchmarks fast);
-        ``None`` estimates the whole week.
-    seed:
-        Seed for the measurement noise.
-    """
-    if max_bins is not None and target_week.n_timesteps > max_bins:
-        target_week = target_week[:max_bins]
-    system = simulate_link_loads(
-        dataset.topology, target_week, noise_std=measurement_noise, seed=seed
-    )
-    gravity_prior = GravityPrior().series(
-        system.ingress, system.egress, nodes=target_week.nodes, bin_seconds=target_week.bin_seconds
-    )
-    ic_prior = build_ic_prior(system)
-    estimator = TMEstimator()
-    results = estimator.compare_priors(
-        system, {"gravity": gravity_prior, "ic": ic_prior}, target_week
-    )
-    improvement = percent_improvement(results["gravity"].errors, results["ic"].errors)
+def comparison_from_result(result) -> EstimationComparison:
+    """Adapt a gravity-baselined :class:`ScenarioResult` to the figure format."""
+    if result.improvement is None:
+        raise ValueError(
+            "the scenario was run without a baseline prior; "
+            "run it with ScenarioRunner(baseline_prior='gravity')"
+        )
     return EstimationComparison(
-        dataset=dataset_name,
-        scenario=scenario,
-        improvement=improvement,
-        ic_errors=results["ic"].errors,
-        gravity_errors=results["gravity"].errors,
-        ic_prior_errors=results["ic"].prior_errors,
-        gravity_prior_errors=results["gravity"].prior_errors,
+        dataset=result.scenario.dataset,
+        scenario=result.prior_label,
+        improvement=result.improvement,
+        ic_errors=result.errors,
+        gravity_errors=result.baseline_errors,
+        ic_prior_errors=result.prior_errors,
+        gravity_prior_errors=result.baseline_prior_errors,
     )

@@ -5,14 +5,16 @@ provide: ``f``, ``{P_i}`` and ``{A_i(t)}`` are taken from the optimisation fit
 of the *same* week being estimated, composed into a prior, and pushed through
 the same tomogravity + IPF pipeline as the gravity prior.  The paper reports
 improvements of 10-20 % on Geant and 20-30 % on Totem.
+
+The driver is a thin wrapper over the Scenario API: it declares the
+``"measured"`` prior on the chosen dataset and lets
+:class:`repro.scenarios.ScenarioRunner` execute the shared protocol.
 """
 
 from __future__ import annotations
 
-from repro.core.fitting import fit_stable_fp
-from repro.core.priors import MeasuredParameterPrior
-from repro.experiments._common import get_dataset
-from repro.experiments._estimation import EstimationComparison, run_prior_comparison
+from repro.experiments._estimation import EstimationComparison, comparison_from_result
+from repro.scenarios import Scenario, ScenarioRunner
 
 __all__ = ["run_estimation_measured"]
 
@@ -35,29 +37,22 @@ def run_estimation_measured(
     bins_per_week, full_scale:
         Dataset size knobs.
     week:
-        Which week to estimate.
+        Which week to estimate (the fit uses the same week).
     max_bins:
         Cap on the number of bins run through the estimation pipeline
         (``None`` runs the whole week; the default keeps benchmarks quick).
     measurement_noise:
         Relative SNMP measurement noise.
     """
-    data = get_dataset(dataset, n_weeks=max(week + 1, 1), bins_per_week=bins_per_week, full_scale=full_scale)
-    target = data.week(week)
-    if max_bins is not None and target.n_timesteps > max_bins:
-        target = target[:max_bins]
-    fit = fit_stable_fp(target)
-    prior = MeasuredParameterPrior.from_fit(fit)
-
-    def build_prior(system):
-        return prior.series(nodes=target.nodes, bin_seconds=target.bin_seconds)
-
-    return run_prior_comparison(
-        data,
-        target,
-        build_prior,
-        dataset_name=dataset,
-        scenario="measured",
-        measurement_noise=measurement_noise,
+    scenario = Scenario(
+        dataset=dataset,
+        prior="measured",
+        calibration_week=week,
+        target_week=week,
+        bins_per_week=bins_per_week,
+        full_scale=full_scale,
         max_bins=max_bins,
+        measurement_noise=measurement_noise,
+        name=f"fig11/{dataset}",
     )
+    return comparison_from_result(ScenarioRunner().run(scenario))

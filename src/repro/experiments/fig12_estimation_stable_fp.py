@@ -2,19 +2,19 @@
 
 The stable-fP prior exploits the temporal stability of ``f`` and ``{P_i}``:
 they are fitted to an earlier calibration week (one week back for Geant, two
-weeks back for Totem in the paper), and the target week's activity is
-recovered from its ingress/egress counts alone via the pseudo-inverse
-construction of Eqs. 7-9.  The paper reports 10-20 % improvements over the
-gravity prior.
+weeks back for Totem in the paper — the ``calibration_gap`` metadata of the
+registered datasets), and the target week's activity is recovered from its
+ingress/egress counts alone via the pseudo-inverse construction of Eqs. 7-9.
+The paper reports 10-20 % improvements over the gravity prior.
+
+The driver is a thin wrapper over the Scenario API around the registered
+``"stable_fp"`` prior.
 """
 
 from __future__ import annotations
 
-from repro.core.fitting import fit_stable_fp
-from repro.core.priors import StableFPPrior
-from repro.errors import ValidationError
-from repro.experiments._common import get_dataset
-from repro.experiments._estimation import EstimationComparison, run_prior_comparison
+from repro.experiments._estimation import EstimationComparison, comparison_from_result
+from repro.scenarios import Scenario, ScenarioRunner
 
 __all__ = ["run_estimation_stable_fp"]
 
@@ -38,35 +38,22 @@ def run_estimation_stable_fp(
     calibration_week:
         Week used to fit ``f`` and ``{P_i}``.
     target_week:
-        Week being estimated; defaults to one week after calibration for the
-        Geant-like data and two weeks after for the Totem-like data (matching
-        the paper's setup).
+        Week being estimated; defaults to the dataset's registered
+        calibration gap after the calibration week (one week for the
+        Geant-like data, two for the Totem-like data, matching the paper's
+        setup).  Must differ from ``calibration_week``.
     max_bins, measurement_noise, bins_per_week, full_scale:
         As in the other estimation experiments.
     """
-    gap = 1 if dataset == "geant" else 2
-    if target_week is None:
-        target_week = calibration_week + gap
-    if target_week == calibration_week:
-        raise ValidationError("target_week must differ from calibration_week")
-    n_weeks = max(calibration_week, target_week) + 1
-    data = get_dataset(dataset, n_weeks=n_weeks, bins_per_week=bins_per_week, full_scale=full_scale)
-    calibration = data.week(calibration_week)
-    target = data.week(target_week)
-    fit = fit_stable_fp(calibration)
-    prior_builder = StableFPPrior.from_fit(fit)
-
-    def build_prior(system):
-        return prior_builder.series(
-            system.ingress, system.egress, nodes=target.nodes, bin_seconds=target.bin_seconds
-        )
-
-    return run_prior_comparison(
-        data,
-        target,
-        build_prior,
-        dataset_name=dataset,
-        scenario="stable-fP",
-        measurement_noise=measurement_noise,
+    scenario = Scenario(
+        dataset=dataset,
+        prior="stable_fp",
+        calibration_week=calibration_week,
+        target_week=target_week,
+        bins_per_week=bins_per_week,
+        full_scale=full_scale,
         max_bins=max_bins,
+        measurement_noise=measurement_noise,
+        name=f"fig12/{dataset}",
     )
+    return comparison_from_result(ScenarioRunner().run(scenario))

@@ -6,13 +6,15 @@ preference are recovered per bin from the ingress/egress counts via the
 closed forms of Eqs. 11-12.  The paper reports modest but positive gains:
 around 8 % on Geant and only 1-2 % on Totem — the weakest of the three IC
 priors, but still preferable to the gravity prior.
+
+The driver is a thin wrapper over the Scenario API around the registered
+``"stable_f"`` prior.
 """
 
 from __future__ import annotations
 
-from repro.core.priors import StableFPrior
-from repro.experiments._common import get_dataset
-from repro.experiments._estimation import EstimationComparison, run_prior_comparison
+from repro.experiments._estimation import EstimationComparison, comparison_from_result
+from repro.scenarios import Scenario, ScenarioRunner
 
 __all__ = ["run_estimation_stable_f"]
 
@@ -38,26 +40,16 @@ def run_estimation_stable_f(
     to a mis-measured value, or set it to the calibration-week fit to study
     the fully inference-driven variant.
     """
-    n_weeks = max(calibration_week, target_week) + 1
-    data = get_dataset(dataset, n_weeks=n_weeks, bins_per_week=bins_per_week, full_scale=full_scale)
-    target = data.week(target_week)
-    if measured_forward_fraction is None:
-        measured_f = float(data.ground_truths[calibration_week].forward_fraction)
-    else:
-        measured_f = float(measured_forward_fraction)
-    prior_builder = StableFPrior(measured_f)
-
-    def build_prior(system):
-        return prior_builder.series(
-            system.ingress, system.egress, nodes=target.nodes, bin_seconds=target.bin_seconds
-        )
-
-    return run_prior_comparison(
-        data,
-        target,
-        build_prior,
-        dataset_name=dataset,
-        scenario="stable-f",
-        measurement_noise=measurement_noise,
+    scenario = Scenario(
+        dataset=dataset,
+        prior="stable_f",
+        calibration_week=calibration_week,
+        target_week=target_week,
+        bins_per_week=bins_per_week,
+        full_scale=full_scale,
         max_bins=max_bins,
+        measurement_noise=measurement_noise,
+        measured_forward_fraction=measured_forward_fraction,
+        name=f"fig13/{dataset}",
     )
+    return comparison_from_result(ScenarioRunner().run(scenario))

@@ -1,0 +1,397 @@
+"""Execute scenarios: one, a batch, or a full component grid.
+
+:class:`ScenarioRunner` replays the estimation protocol shared by the
+paper's Figures 11-13 for any registered (dataset, prior, estimator)
+combination:
+
+1. build (or fetch from the shared cache) the dataset at the requested
+   scale,
+2. simulate the target week's measurements over the topology,
+3. build the scenario's prior and — unless disabled — the gravity baseline
+   prior from the same measurements,
+4. run both through the estimator, and
+5. record per-bin errors, the per-bin improvement over the baseline, and
+   per-stage timing.
+
+Because dataset synthesis is memoised in
+:func:`repro.synthesis.datasets.load_dataset`, a sweep over N priors and M
+datasets performs M synthesis runs, not N×M.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._tables import format_rows
+from repro.core.metrics import percent_improvement, summarize_improvement
+from repro.core.priors import PriorContext
+from repro.core.traffic_matrix import TrafficMatrixSeries
+from repro.errors import ValidationError
+from repro.estimation.linear_system import simulate_link_loads
+from repro.registry import (
+    DATASETS,
+    ESTIMATORS,
+    PRIORS,
+    TOPOLOGIES,
+    RegistryEntry,
+    canonical_name,
+)
+from repro.scenarios.scenario import Scenario
+from repro.synthesis.datasets import load_dataset
+
+__all__ = ["ScenarioResult", "ScenarioRunner", "SweepResult", "run_scenario", "sweep"]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run produced.
+
+    Attributes
+    ----------
+    scenario:
+        The configuration that was executed.
+    prior_label, baseline_label:
+        Display names of the scenario prior and the baseline prior
+        (``baseline_label`` is ``None`` when no baseline was run).
+    estimate:
+        The refined traffic-matrix estimate.
+    errors, prior_errors:
+        Per-bin relative L2 error of the estimate and of the raw prior.
+    baseline_errors, baseline_prior_errors:
+        Same two series for the baseline prior, when one was run.
+    improvement:
+        Per-bin percentage improvement over the baseline estimate.
+    timing:
+        Seconds spent per stage: ``dataset``, ``prior``, ``estimation`` and
+        ``total``.
+    """
+
+    scenario: Scenario
+    prior_label: str
+    baseline_label: str | None
+    estimate: TrafficMatrixSeries
+    errors: np.ndarray
+    prior_errors: np.ndarray
+    baseline_errors: np.ndarray | None = None
+    baseline_prior_errors: np.ndarray | None = None
+    improvement: np.ndarray | None = None
+    timing: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_error(self) -> float:
+        """Mean per-bin error of the refined estimate."""
+        return float(np.mean(self.errors))
+
+    @property
+    def mean_improvement(self) -> float:
+        """Mean per-bin improvement over the baseline estimate."""
+        if self.improvement is None:
+            raise ValidationError("scenario was run without a baseline prior")
+        return float(np.mean(self.improvement))
+
+    def format_table(self) -> str:
+        """ASCII summary mirroring the experiment drivers' tables."""
+        rows: list[list[object]] = [
+            ["scenario", self.scenario.label],
+            ["dataset", self.scenario.dataset],
+            ["prior", self.prior_label],
+            ["estimator", self.scenario.estimator],
+            ["bins estimated", int(self.errors.shape[0])],
+            ["mean estimation error", self.mean_error],
+            ["mean raw prior error", float(np.mean(self.prior_errors))],
+        ]
+        if self.improvement is not None:
+            summary = summarize_improvement(self.improvement)
+            rows += [
+                [f"mean estimation error ({self.baseline_label} baseline)",
+                 float(np.mean(self.baseline_errors))],
+                ["mean improvement %", summary["mean"]],
+                ["median improvement %", summary["median"]],
+                ["25th-75th percentile improvement %",
+                 f"{summary['p25']:.3g} .. {summary['p75']:.3g}"],
+            ]
+        rows.append(["runtime (s)", self.timing.get("total", float("nan"))])
+        return format_rows(["quantity", "value"], rows)
+
+
+class ScenarioRunner:
+    """Executes :class:`Scenario` objects against the registries.
+
+    Parameters
+    ----------
+    baseline_prior:
+        Registered prior every run is compared against (default
+        ``"gravity"``, the paper's baseline).  ``None`` disables the
+        comparison, halving the estimation work.
+    """
+
+    def __init__(self, *, baseline_prior: str | None = "gravity"):
+        self._baseline = baseline_prior
+
+    # -- week resolution ----------------------------------------------------
+
+    @staticmethod
+    def resolve_weeks(scenario: Scenario) -> tuple[int, int]:
+        """The (calibration_week, target_week) pair a scenario will use.
+
+        A missing ``target_week`` falls back to the prior's ``week_mode``
+        metadata: ``"same"`` targets the calibration week, ``"next"`` the
+        following week, and ``"gap"`` jumps the dataset's ``calibration_gap``
+        (and must land on a different week, per Section 6.2).
+        """
+        prior_entry = PRIORS.entry(scenario.prior)
+        mode = prior_entry.metadata.get("week_mode", "same")
+        calibration = scenario.calibration_week
+        if scenario.target_week is not None:
+            target = scenario.target_week
+        elif mode == "next":
+            target = calibration + 1
+        elif mode == "gap":
+            dataset_entry = DATASETS.entry(scenario.dataset)
+            target = calibration + int(dataset_entry.metadata.get("calibration_gap", 1))
+        else:
+            target = calibration
+        if mode == "gap" and target == calibration:
+            raise ValidationError("target_week must differ from calibration_week")
+        return calibration, target
+
+    @staticmethod
+    def _resolve_topology(scenario: Scenario, data):
+        """The topology the measurements are simulated over.
+
+        Defaults to the dataset's own; an explicit override must be a
+        no-argument registered factory whose node set matches the dataset's
+        (the synthesized traffic is defined over those nodes).
+        """
+        if scenario.topology is None:
+            return data.topology
+        entry = TOPOLOGIES.entry(scenario.topology)
+        if entry.metadata.get("parameterized"):
+            raise ValidationError(
+                f"topology {scenario.topology!r} takes parameters and cannot be "
+                "used as a scenario override; register a concrete instance instead"
+            )
+        topology = entry.obj()
+        if tuple(topology.nodes) != tuple(data.topology.nodes):
+            raise ValidationError(
+                f"topology {scenario.topology!r} has nodes {topology.nodes[:4]}... "
+                f"({topology.n_nodes} PoPs) but dataset {scenario.dataset!r} "
+                f"is defined over {data.topology.n_nodes} PoPs; node sets must match"
+            )
+        return topology
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, scenario: Scenario) -> ScenarioResult:
+        """Execute one scenario and return its :class:`ScenarioResult`."""
+        scenario.validate()
+        prior_entry = PRIORS.entry(scenario.prior)
+        estimator_factory = ESTIMATORS.get(scenario.estimator)
+        calibration_week, target_week = self.resolve_weeks(scenario)
+
+        started = time.perf_counter()
+        data = load_dataset(
+            scenario.dataset,
+            n_weeks=max(max(calibration_week, target_week) + 1, scenario.n_weeks or 0),
+            bins_per_week=scenario.bins_per_week,
+            full_scale=scenario.full_scale,
+            seed=scenario.dataset_seed,
+        )
+        topology = self._resolve_topology(scenario, data)
+        dataset_seconds = time.perf_counter() - started
+
+        target = data.week(target_week)
+        if scenario.max_bins is not None and target.n_timesteps > scenario.max_bins:
+            target = target[: scenario.max_bins]
+        system = simulate_link_loads(
+            topology, target, noise_std=scenario.measurement_noise, seed=scenario.seed
+        )
+        context = PriorContext(
+            dataset=data,
+            target=target,
+            system=system,
+            calibration_week=calibration_week,
+            target_week=target_week,
+            measured_forward_fraction=scenario.measured_forward_fraction,
+        )
+
+        prior_started = time.perf_counter()
+        priors = {}
+        baseline_entry: RegistryEntry | None = None
+        if self._baseline is not None and scenario.prior != canonical_name(self._baseline):
+            baseline_entry = PRIORS.entry(self._baseline)
+            priors["baseline"] = baseline_entry.obj(context)
+        priors["scenario"] = prior_entry.obj(context)
+        prior_seconds = time.perf_counter() - prior_started
+
+        estimation_started = time.perf_counter()
+        estimator = estimator_factory()
+        results = estimator.compare_priors(system, priors, target)
+        estimation_seconds = time.perf_counter() - estimation_started
+
+        main = results["scenario"]
+        baseline = results.get("baseline")
+        improvement = None
+        if baseline is not None:
+            improvement = percent_improvement(baseline.errors, main.errors)
+        total_seconds = time.perf_counter() - started
+        return ScenarioResult(
+            scenario=scenario,
+            prior_label=prior_entry.metadata.get("display", prior_entry.name),
+            baseline_label=(
+                baseline_entry.metadata.get("display", baseline_entry.name)
+                if baseline_entry is not None
+                else None
+            ),
+            estimate=main.estimate,
+            errors=main.errors,
+            prior_errors=main.prior_errors,
+            baseline_errors=baseline.errors if baseline is not None else None,
+            baseline_prior_errors=baseline.prior_errors if baseline is not None else None,
+            improvement=improvement,
+            timing={
+                "dataset": dataset_seconds,
+                "prior": prior_seconds,
+                "estimation": estimation_seconds,
+                "total": total_seconds,
+            },
+        )
+
+    def run_batch(self, scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
+        """Run several scenarios in order, sharing the dataset cache."""
+        return [self.run(scenario) for scenario in scenarios]
+
+    def sweep(
+        self,
+        *,
+        priors: Sequence[str],
+        datasets: Sequence[str],
+        base: Scenario | dict | None = None,
+        **overrides,
+    ) -> "SweepResult":
+        """Run the full priors × datasets grid and collect a comparison.
+
+        Parameters
+        ----------
+        priors, datasets:
+            Registered component names spanning the grid.
+        base:
+            Scenario (or plain dict) supplying the shared knobs; the grid
+            cell overwrites its ``dataset`` and ``prior``.
+        overrides:
+            Additional Scenario fields applied on top of ``base``.
+        """
+        if not priors or not datasets:
+            raise ValidationError("sweep needs at least one prior and one dataset")
+        if isinstance(base, dict):
+            base = Scenario.from_dict({"dataset": datasets[0], "prior": priors[0], **base})
+        elif base is None:
+            base = Scenario(dataset=datasets[0], prior=priors[0])
+        cells = [
+            base.replace(dataset=dataset, prior=prior, **overrides)
+            for dataset in datasets
+            for prior in priors
+        ]
+        # Priors resolve different default target weeks, and n_weeks is part
+        # of the synthesis cache key *and* changes the generated traffic; pin
+        # every cell of a dataset column to the column-wide maximum so the
+        # column shares one synthesis run and one ground truth.
+        weeks_needed: dict[str, int] = {}
+        for cell in cells:
+            try:
+                calibration, target = self.resolve_weeks(cell)
+            except Exception:  # noqa: BLE001 - leave the failure to the cell run below
+                continue
+            needed = max(max(calibration, target) + 1, cell.n_weeks or 0)
+            weeks_needed[cell.dataset] = max(weeks_needed.get(cell.dataset, 0), needed)
+        results: list[ScenarioResult] = []
+        failures: list[tuple[Scenario, str]] = []
+        for cell in cells:
+            if cell.dataset in weeks_needed:
+                cell = cell.replace(n_weeks=weeks_needed[cell.dataset])
+            try:
+                results.append(self.run(cell))
+            except Exception as exc:  # noqa: BLE001 - a cell failure should not kill the grid
+                failures.append((cell, f"{type(exc).__name__}: {exc}"))
+        return SweepResult(
+            priors=tuple(canonical_name(prior) for prior in priors),
+            datasets=tuple(canonical_name(dataset) for dataset in datasets),
+            results=results,
+            failures=failures,
+        )
+
+
+@dataclass
+class SweepResult:
+    """Results of a priors × datasets grid sweep.
+
+    ``results`` holds the successful cells; ``failures`` pairs each failed
+    scenario with its error message, so one singular configuration cannot
+    sink a whole batch.
+    """
+
+    priors: tuple[str, ...]
+    datasets: tuple[str, ...]
+    results: list[ScenarioResult]
+    failures: list[tuple[Scenario, str]]
+
+    def result_for(self, dataset: str, prior: str) -> ScenarioResult | None:
+        """The cell for (dataset, prior), or ``None`` if it failed."""
+        for result in self.results:
+            if result.scenario.dataset == dataset and result.scenario.prior == prior:
+                return result
+        return None
+
+    def format_table(self) -> str:
+        """Grid of mean improvement % over the baseline (rows = priors)."""
+        headers = ["prior \\ dataset", *self.datasets]
+        rows: list[list[object]] = []
+        for prior in self.priors:
+            row: list[object] = [prior]
+            for dataset in self.datasets:
+                cell = self.result_for(dataset, prior)
+                if cell is None:
+                    row.append("failed")
+                elif cell.improvement is None:
+                    row.append(f"err={cell.mean_error:.4g}")
+                else:
+                    row.append(f"{cell.mean_improvement:+.2f}%")
+            rows.append(row)
+        table = format_rows(headers, rows)
+        if self.failures:
+            lines = [table, "", "failed cells:"]
+            lines += [f"  {scenario.label}: {message}" for scenario, message in self.failures]
+            return "\n".join(lines)
+        return table
+
+    def format_timing(self) -> str:
+        """Per-cell timing breakdown of the successful runs."""
+        rows = [
+            [
+                result.scenario.label,
+                result.timing.get("dataset", 0.0),
+                result.timing.get("prior", 0.0),
+                result.timing.get("estimation", 0.0),
+                result.timing.get("total", 0.0),
+            ]
+            for result in self.results
+        ]
+        return format_rows(["scenario", "dataset s", "prior s", "estimation s", "total s"], rows)
+
+
+def run_scenario(scenario: Scenario | dict, **runner_kwargs) -> ScenarioResult:
+    """Convenience wrapper: run one scenario (or scenario dict)."""
+    if isinstance(scenario, dict):
+        scenario = Scenario.from_dict(scenario)
+    return ScenarioRunner(**runner_kwargs).run(scenario)
+
+
+def sweep(
+    *, priors: Sequence[str], datasets: Sequence[str], base: Scenario | dict | None = None, **overrides
+) -> SweepResult:
+    """Convenience wrapper around :meth:`ScenarioRunner.sweep`."""
+    return ScenarioRunner().sweep(priors=priors, datasets=datasets, base=base, **overrides)

@@ -21,16 +21,23 @@ experiments default to a reduced number of bins per week to stay fast; pass
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.errors import ValidationError
+from repro.registry import DATASETS, register_dataset
 from repro.synthesis.generator import GroundTruth, ICTMGenerator, SyntheticTMConfig
 from repro.topology.library import geant_topology, totem_topology
 from repro.topology.topology import Topology
 
-__all__ = ["SyntheticDataset", "make_geant_like_dataset", "make_totem_like_dataset"]
+__all__ = [
+    "SyntheticDataset",
+    "make_geant_like_dataset",
+    "make_totem_like_dataset",
+    "load_dataset",
+]
 
 GEANT_BINS_PER_WEEK = 2016  # 5-minute bins
 TOTEM_BINS_PER_WEEK = 672   # 15-minute bins
@@ -147,6 +154,11 @@ def _inject_anomalies(values: np.ndarray, rng: np.random.Generator, rate: float)
     return values
 
 
+@register_dataset(
+    "geant",
+    description="Geant-like D1 stand-in: 22 PoPs, 5-minute bins, 2016 bins/week at full scale",
+    metadata={"calibration_gap": 1, "n_nodes": 22, "bin_seconds": 300.0},
+)
 def make_geant_like_dataset(
     n_weeks: int = 3,
     *,
@@ -194,6 +206,11 @@ def make_geant_like_dataset(
     )
 
 
+@register_dataset(
+    "totem",
+    description="Totem-like D2 stand-in: 23 PoPs, 15-minute bins, with injected anomalies",
+    metadata={"calibration_gap": 2, "n_nodes": 23, "bin_seconds": 900.0},
+)
 def make_totem_like_dataset(
     n_weeks: int = 7,
     *,
@@ -230,3 +247,33 @@ def make_totem_like_dataset(
         seed=seed,
         anomaly_rate=0.02,
     )
+
+
+@lru_cache(maxsize=16)
+def load_dataset(
+    name: str,
+    *,
+    n_weeks: int,
+    bins_per_week: int | None = None,
+    full_scale: bool = False,
+    seed: int | None = None,
+) -> SyntheticDataset:
+    """Build (and memoise) a registered dataset at the requested scale.
+
+    This is the shared cache behind both the experiment drivers and the
+    scenario runner, so a sweep over many priors reuses one synthesis run per
+    dataset cell instead of regenerating the traffic for every scenario.
+
+    Parameters
+    ----------
+    name:
+        A name registered in :data:`repro.registry.DATASETS`.
+    n_weeks, bins_per_week, full_scale, seed:
+        Passed through to the dataset factory; ``seed=None`` keeps the
+        factory default.
+    """
+    factory = DATASETS.get(name)
+    kwargs: dict = {"bins_per_week": bins_per_week, "full_scale": full_scale}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return factory(n_weeks, **kwargs)

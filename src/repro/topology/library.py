@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import TopologyError
+from repro.registry import register_topology
 from repro.topology.topology import Link, Topology
 
 __all__ = ["geant_topology", "totem_topology", "abilene_topology", "random_topology"]
@@ -75,6 +76,7 @@ _GEANT_EDGES: tuple[tuple[str, str, float], ...] = (
 )
 
 
+@register_topology("geant", description="22-PoP pan-European Geant backbone (D1)", metadata={"n_nodes": 22})
 def geant_topology() -> Topology:
     """The 22-PoP Geant topology used by the D1 dataset."""
     topology = Topology("geant", GEANT_POPS)
@@ -84,6 +86,7 @@ def geant_topology() -> Topology:
     return topology
 
 
+@register_topology("totem", description="23-PoP Totem variant of Geant with the German PoP split (D2)", metadata={"n_nodes": 23})
 def totem_topology() -> Topology:
     """The 23-PoP Totem variant of Geant: ``de`` is split into ``de1`` and ``de2``."""
     pops = tuple(p for p in GEANT_POPS if p != "de") + ("de1", "de2")
@@ -125,6 +128,7 @@ _ABILENE_EDGES: tuple[tuple[str, str, float], ...] = (
 )
 
 
+@register_topology("abilene", description="11-PoP Abilene / Internet2 backbone (D3 trace site)", metadata={"n_nodes": 11})
 def abilene_topology() -> Topology:
     """The 11-PoP Abilene (Internet2) backbone, source of the D3 packet traces."""
     topology = Topology("abilene", ABILENE_POPS)
@@ -134,6 +138,7 @@ def abilene_topology() -> Topology:
     return topology
 
 
+@register_topology("random", description="Seeded random ring-plus-chords topology for scaling studies", metadata={"parameterized": True})
 def random_topology(n_nodes: int, *, seed: int = 0, mean_degree: float = 3.0) -> Topology:
     """A seeded random strongly connected PoP-level topology.
 

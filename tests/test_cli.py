@@ -1,4 +1,4 @@
-"""Tests for the command-line interface."""
+"""Tests for the subcommand command-line interface."""
 
 from __future__ import annotations
 
@@ -6,37 +6,160 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.experiments import EXPERIMENTS
+from repro.registry import DATASETS, PRIORS
+
+SMALL = ["--bins-per-week", "36", "--max-bins", "6"]
 
 
 class TestParser:
-    def test_experiment_choices_cover_registry(self):
+    def test_run_experiment_choices_cover_registry(self):
         parser = build_parser()
-        action = next(a for a in parser._actions if a.dest == "experiment")
-        assert set(action.choices) == set(EXPERIMENTS) | {"all"}
+        args = parser.parse_args(["run", "fig2"])
+        assert args.experiment == "fig2"
+        for name in list(EXPERIMENTS) + ["all"]:
+            assert parser.parse_args(["run", name]).experiment == name
 
-    def test_defaults(self):
-        args = build_parser().parse_args(["fig2"])
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig2"])
         assert args.dataset is None
         assert not args.full_scale
         assert args.bins_per_week is None
 
-    def test_rejects_unknown_experiment(self):
+    def test_rejects_unknown_experiment_with_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "fig99"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_rejects_unknown_subcommand(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["frobnicate"])
+        assert excinfo.value.code == 2
+
+    def test_estimate_requires_prior_and_dataset(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["fig99"])
+            build_parser().parse_args(["estimate", "--prior", "gravity"])
 
 
-class TestMain:
+class TestRun:
     def test_runs_fig2(self, capsys):
-        assert main(["fig2"]) == 0
+        assert main(["run", "fig2"]) == 0
         output = capsys.readouterr().out
         assert "fig2" in output
         assert "P[E=A]" in output
 
     def test_runs_fig3_with_dataset_and_bins(self, capsys):
-        assert main(["fig3", "--dataset", "geant", "--bins-per-week", "24"]) == 0
-        output = capsys.readouterr().out
-        assert "mean improvement %" in output
+        assert main(["run", "fig3", "--dataset", "geant", "--bins-per-week", "24"]) == 0
+        assert "mean improvement %" in capsys.readouterr().out
 
     def test_runs_fig10(self, capsys):
-        assert main(["fig10"]) == 0
+        assert main(["run", "fig10"]) == 0
         assert "asymmetry level" in capsys.readouterr().out
+
+    def test_legacy_positional_form_still_works(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "P[E=A]" in capsys.readouterr().out
+
+    def test_legacy_form_accepts_flags_before_experiment(self, capsys):
+        assert main(["--bins-per-week", "24", "fig3"]) == 0
+        assert "mean improvement %" in capsys.readouterr().out
+
+    def test_newly_registered_experiment_is_runnable(self, capsys):
+        from repro.registry import EXPERIMENTS_REGISTRY
+
+        class _Result:
+            @staticmethod
+            def format_table():
+                return "custom-table"
+
+        EXPERIMENTS_REGISTRY.register(
+            "figtest", lambda: _Result(), description="test", metadata={"accepts": ()}
+        )
+        try:
+            assert main(["run", "figtest"]) == 0
+            assert "custom-table" in capsys.readouterr().out
+        finally:
+            EXPERIMENTS_REGISTRY.unregister("figtest")
+
+    def test_unknown_dataset_exits_2_naming_choices(self, capsys):
+        assert main(["run", "fig3", "--dataset", "nonesuch"]) == 2
+        err = capsys.readouterr().err
+        assert "nonesuch" in err
+        for name in DATASETS.names():
+            assert name in err
+
+
+class TestEstimate:
+    def test_estimate_smoke(self, capsys):
+        code = main(["estimate", "--prior", "stable_f", "--dataset", "geant", *SMALL])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean improvement %" in output
+        assert "stable-f" in output
+
+    def test_unknown_prior_exits_2_naming_choices(self, capsys):
+        assert main(["estimate", "--prior", "bogus", "--dataset", "geant"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        for name in PRIORS.names():
+            assert name in err
+
+    def test_unknown_dataset_exits_2(self, capsys):
+        assert main(["estimate", "--prior", "gravity", "--dataset", "bogus"]) == 2
+        assert "registered datasets" in capsys.readouterr().err
+
+    def test_incompatible_weeks_exit_2(self, capsys):
+        code = main([
+            "estimate", "--prior", "stable_fp", "--dataset", "geant",
+            "--target-week", "0", *SMALL,
+        ])
+        assert code == 2
+        assert "target_week" in capsys.readouterr().err
+
+    def test_no_baseline_skips_comparison(self, capsys):
+        code = main([
+            "estimate", "--prior", "gravity", "--dataset", "geant",
+            "--no-baseline", *SMALL,
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean estimation error" in output
+        assert "mean improvement %" not in output
+
+
+class TestSweep:
+    def test_sweep_smoke(self, capsys):
+        code = main([
+            "sweep", "--priors", "stable_f", "gravity",
+            "--datasets", "geant", "totem", *SMALL,
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "geant" in output
+        assert "totem" in output
+        assert "stable_f" in output
+        assert "4/4 cells ok" in output
+
+    def test_sweep_unknown_prior_exits_2(self, capsys):
+        code = main(["sweep", "--priors", "bogus", "--datasets", "geant", *SMALL])
+        assert code == 2
+        assert "registered priors" in capsys.readouterr().err
+
+
+class TestList:
+    def test_list_priors_names_all_registered(self, capsys):
+        assert main(["list", "priors"]) == 0
+        output = capsys.readouterr().out
+        for name in ("gravity", "measured", "stable_f", "stable_fp"):
+            assert name in output
+
+    def test_list_everything(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for kind in ("models:", "priors:", "estimators:", "datasets:", "topologies:", "experiments:"):
+            assert kind in output
+
+    def test_list_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["list", "widgets"])
+        assert excinfo.value.code == 2
