@@ -45,9 +45,12 @@ from repro.core.ic_model import (
     TimeVaryingICModel,
     degrees_of_freedom,
     general_ic_matrix,
+    general_ic_series,
     simplified_ic_matrix,
+    simplified_ic_series,
+    time_varying_ic_series,
 )
-from repro.core.gravity import GravityModel, gravity_matrix, gravity_series
+from repro.core.gravity import GravityModel, gravity_matrix, gravity_series, gravity_series_values
 from repro.core.metrics import (
     mean_relative_error,
     percent_improvement,
@@ -102,10 +105,14 @@ __all__ = [
     "StableFPICModel",
     "degrees_of_freedom",
     "general_ic_matrix",
+    "general_ic_series",
     "simplified_ic_matrix",
+    "simplified_ic_series",
+    "time_varying_ic_series",
     "GravityModel",
     "gravity_matrix",
     "gravity_series",
+    "gravity_series_values",
     "rel_l2_temporal_error",
     "rel_l2_spatial_error",
     "percent_improvement",

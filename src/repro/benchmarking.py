@@ -1,0 +1,367 @@
+"""Benchmark harness and the ``BENCH_<rev>.json`` trajectory format.
+
+Performance work needs a baseline: this module defines one shared on-disk
+format for benchmark results, so that
+
+* ``repro bench`` (the CLI harness) writes a ``BENCH_<rev>.json`` snapshot
+  of the built-in micro-benchmarks (and, in full mode, the pytest-benchmark
+  suite under ``benchmarks/``), and
+* ad-hoc ``pytest benchmarks/`` runs can append to the very same format via
+  :mod:`benchmarks._bench_utils` (set ``REPRO_BENCH_JSON``),
+
+which gives successive revisions a comparable perf trajectory: collect the
+``BENCH_*.json`` files and diff ``wall_seconds`` per benchmark name.
+
+The built-in micro-benchmarks time the batched kernels introduced by the
+batched execution engine against their per-bin per-entry reference loops and
+record the speedups in ``extra_info`` (including the headline ``(n=50,
+T=288)`` IC-series kernel).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro._tables import format_rows
+from repro.core.ic_model import simplified_ic_matrix, simplified_ic_series
+from repro.estimation.ipf import (
+    iterative_proportional_fitting,
+    iterative_proportional_fitting_series,
+)
+from repro.estimation.linear_system import simulate_link_loads
+from repro.estimation.tomogravity import tomogravity_estimate
+from repro.synthesis.datasets import load_dataset
+from repro.topology.library import geant_topology
+from repro.topology.routing import build_routing_matrix
+
+__all__ = [
+    "BenchmarkRecord",
+    "bench_ic_series_kernel",
+    "bench_routing_matrix",
+    "bench_ipf_series",
+    "bench_tomogravity_batch",
+    "run_benchmarks",
+    "run_pytest_benchmarks",
+    "current_revision",
+    "environment_info",
+    "write_bench_json",
+    "format_records",
+]
+
+
+@dataclass
+class BenchmarkRecord:
+    """One benchmark measurement: a name, a wall time and headline numbers."""
+
+    name: str
+    wall_seconds: float
+    extra_info: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "extra_info": dict(self.extra_info),
+        }
+
+
+def current_revision() -> str:
+    """Short git revision of the working tree, or ``"local"`` without git."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        return output or "local"
+    except (OSError, subprocess.SubprocessError):
+        return "local"
+
+
+def environment_info() -> dict:
+    """The environment fingerprint embedded in every BENCH file."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
+def write_bench_json(
+    records,
+    *,
+    directory: str | Path = ".",
+    revision: str | None = None,
+    path: str | Path | None = None,
+) -> Path:
+    """Write ``records`` as a ``BENCH_<revision>.json`` trajectory file.
+
+    ``path`` overrides the default ``<directory>/BENCH_<revision>.json``
+    location.  Returns the path written.
+    """
+    revision = revision or current_revision()
+    if path is None:
+        path = Path(directory) / f"BENCH_{revision}.json"
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": "repro-bench-v1",
+        "revision": revision,
+        "created_unix": time.time(),
+        "environment": environment_info(),
+        "benchmarks": [record.to_dict() for record in records],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_records(records) -> str:
+    """ASCII table of benchmark names, wall times and headline extras."""
+    rows = []
+    for record in records:
+        extras = ", ".join(
+            f"{key}={value:.3g}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in sorted(record.extra_info.items())
+        )
+        rows.append([record.name, f"{record.wall_seconds:.6f}", extras])
+    return format_rows(["benchmark", "wall s", "extra info"], rows)
+
+
+# ---------------------------------------------------------------------------
+# built-in micro-benchmarks (batched kernels vs their reference loops)
+# ---------------------------------------------------------------------------
+
+def _best_of(func, *, repeat: int) -> float:
+    """Best-of-``repeat`` wall time of ``func()`` in seconds."""
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_ic_series_kernel(*, n: int = 50, timesteps: int = 288, repeat: int = 3) -> BenchmarkRecord:
+    """Headline kernel benchmark: batched IC ``series()`` vs the per-bin loop.
+
+    Times :func:`repro.core.ic_model.simplified_ic_series` on ``(T, n)``
+    activity against the seed-era ``np.stack`` of per-bin
+    :func:`simplified_ic_matrix` calls, verifies the outputs are bit-equal,
+    and records the speedup.
+    """
+    rng = np.random.default_rng(0)
+    activity = rng.random((timesteps, n)) * 1e6
+    preference = rng.random(n) + 1e-3
+    forward = 0.25
+
+    def per_bin_loop():
+        return np.stack(
+            [simplified_ic_matrix(forward, activity[t], preference) for t in range(timesteps)]
+        )
+
+    def batched():
+        return simplified_ic_series(forward, activity, preference)
+
+    matches = bool(np.array_equal(per_bin_loop(), batched()))
+    loop_seconds = _best_of(per_bin_loop, repeat=repeat)
+    batch_seconds = _best_of(batched, repeat=repeat)
+    return BenchmarkRecord(
+        name="ic_series_kernel",
+        wall_seconds=batch_seconds,
+        extra_info={
+            "n": n,
+            "timesteps": timesteps,
+            "loop_seconds": loop_seconds,
+            "speedup_vs_loop": loop_seconds / max(batch_seconds, 1e-12),
+            "matches_loop_bitwise": matches,
+        },
+    )
+
+
+def bench_routing_matrix(*, repeat: int = 3) -> BenchmarkRecord:
+    """Sparse routing build plus sparse-vs-dense ``link_loads`` timings."""
+    topology = geant_topology()
+    build_seconds = _best_of(lambda: build_routing_matrix(topology), repeat=repeat)
+    routing = build_routing_matrix(topology)
+    rng = np.random.default_rng(1)
+    traffic = rng.random((288, topology.n_nodes**2)) * 1e6
+    dense_seconds = _best_of(lambda: routing.link_loads(traffic), repeat=repeat)
+    sparse_seconds = _best_of(
+        lambda: routing.link_loads(traffic, use_sparse=True), repeat=repeat
+    )
+    density = routing.sparse.nnz / float(routing.n_links * topology.n_nodes**2)
+    return BenchmarkRecord(
+        name="routing_matrix",
+        wall_seconds=build_seconds,
+        extra_info={
+            "n_nodes": topology.n_nodes,
+            "n_links": routing.n_links,
+            "nnz_density": density,
+            "link_loads_dense_seconds": dense_seconds,
+            "link_loads_sparse_seconds": sparse_seconds,
+            "sparse_speedup": dense_seconds / max(sparse_seconds, 1e-12),
+        },
+    )
+
+
+def _small_system(bins: int):
+    data = load_dataset("geant", n_weeks=1, bins_per_week=max(bins, 2))
+    week = data.week(0)[:bins]
+    return week, simulate_link_loads(data.topology, week, noise_std=0.0)
+
+
+def bench_ipf_series(*, bins: int = 48, repeat: int = 3) -> BenchmarkRecord:
+    """Batched IPF over a series vs the per-bin loop."""
+    week, system = _small_system(bins)
+    seeds = np.asarray(week.values, dtype=float)
+    ingress, egress = system.ingress, system.egress
+
+    def per_bin_loop():
+        return np.stack(
+            [
+                iterative_proportional_fitting(seeds[t], ingress[t], egress[t])
+                for t in range(seeds.shape[0])
+            ]
+        )
+
+    def batched():
+        return iterative_proportional_fitting_series(seeds, ingress, egress)
+
+    matches = bool(np.array_equal(per_bin_loop(), batched()))
+    loop_seconds = _best_of(per_bin_loop, repeat=repeat)
+    batch_seconds = _best_of(batched, repeat=repeat)
+    return BenchmarkRecord(
+        name="ipf_series",
+        wall_seconds=batch_seconds,
+        extra_info={
+            "bins": bins,
+            "loop_seconds": loop_seconds,
+            "speedup_vs_loop": loop_seconds / max(batch_seconds, 1e-12),
+            "matches_loop_bitwise": matches,
+        },
+    )
+
+
+def bench_tomogravity_batch(*, bins: int = 16, repeat: int = 3) -> BenchmarkRecord:
+    """Batched tomogravity refinement vs calling it one bin at a time."""
+    week, system = _small_system(bins)
+    matrix, observations = system.augmented_system()
+    priors = week.to_vectors()
+
+    def per_bin_loop():
+        return np.stack(
+            [
+                tomogravity_estimate(priors[t], matrix, observations[t])
+                for t in range(priors.shape[0])
+            ]
+        )
+
+    def batched():
+        return tomogravity_estimate(priors, matrix, observations)
+
+    matches = bool(np.array_equal(per_bin_loop(), batched()))
+    loop_seconds = _best_of(per_bin_loop, repeat=repeat)
+    batch_seconds = _best_of(batched, repeat=repeat)
+    return BenchmarkRecord(
+        name="tomogravity_batch",
+        wall_seconds=batch_seconds,
+        extra_info={
+            "bins": bins,
+            "loop_seconds": loop_seconds,
+            "speedup_vs_loop": loop_seconds / max(batch_seconds, 1e-12),
+            "matches_loop_bitwise": matches,
+        },
+    )
+
+
+def run_pytest_benchmarks(*, benchmarks_dir: str | Path = "benchmarks") -> list[BenchmarkRecord]:
+    """Run the pytest-benchmark suite and adapt its JSON into records.
+
+    Returns an empty list (with a stderr note) when the suite directory or
+    the ``pytest-benchmark`` plugin is unavailable, so ``repro bench`` can
+    run from an installed package as well as from a checkout.
+    """
+    directory = Path(benchmarks_dir)
+    if not directory.is_dir():
+        print(f"note: benchmark suite directory {directory} not found; skipping", file=sys.stderr)
+        return []
+    try:
+        import pytest_benchmark  # noqa: F401
+    except ImportError:
+        print("note: pytest-benchmark is not installed; skipping the suite", file=sys.stderr)
+        return []
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "pytest_bench.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(directory),
+            "--benchmark-only",
+            f"--benchmark-json={json_path}",
+            "-q",
+        ]
+        completed = subprocess.run(command, capture_output=True, text=True)
+        if not json_path.exists():
+            print(
+                f"note: pytest benchmark run produced no JSON (exit {completed.returncode}); "
+                "skipping the suite",
+                file=sys.stderr,
+            )
+            return []
+        if completed.returncode != 0:
+            # A partial suite must not masquerade as a healthy trajectory point.
+            print(
+                f"warning: pytest benchmark suite exited {completed.returncode}; "
+                "the BENCH records cover only the benchmarks that completed",
+                file=sys.stderr,
+            )
+        payload = json.loads(json_path.read_text())
+    records = []
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        records.append(
+            BenchmarkRecord(
+                name=bench.get("fullname", bench.get("name", "unknown")),
+                wall_seconds=float(stats.get("mean", float("nan"))),
+                extra_info=dict(bench.get("extra_info", {})),
+            )
+        )
+    return records
+
+
+def run_benchmarks(
+    *,
+    quick: bool = False,
+    repeat: int = 3,
+    benchmarks_dir: str | Path = "benchmarks",
+) -> list[BenchmarkRecord]:
+    """Run the benchmark set and return the records.
+
+    ``quick`` limits the run to the built-in micro-benchmarks (seconds, used
+    by the CI smoke job); the full mode also executes the pytest-benchmark
+    suite under ``benchmarks_dir``, which regenerates every paper figure and
+    takes minutes.
+    """
+    records = [
+        bench_ic_series_kernel(repeat=repeat),
+        bench_routing_matrix(repeat=repeat),
+        bench_ipf_series(repeat=repeat),
+        bench_tomogravity_batch(repeat=repeat),
+    ]
+    if not quick:
+        records.extend(run_pytest_benchmarks(benchmarks_dir=benchmarks_dir))
+    return records

@@ -5,14 +5,18 @@ Usage::
     python -m repro run fig3 --dataset geant
     python -m repro run all
     python -m repro estimate --prior stable_fp --dataset geant
-    python -m repro sweep --priors measured stable_f --datasets geant totem
+    python -m repro sweep --priors measured stable_f --datasets geant totem --jobs 4
+    python -m repro bench --quick
     python -m repro list priors
 
 ``run`` executes a figure-reproduction experiment, ``estimate`` a single
 declarative scenario, ``sweep`` a priors × datasets grid through the
-:class:`repro.scenarios.ScenarioRunner`, and ``list`` shows the registered
-components of any kind.  Unknown component or experiment names exit with
-status 2 and a message naming the valid registered choices.
+:class:`repro.scenarios.ScenarioRunner` (``--jobs N`` runs grid cells in
+parallel worker processes with deterministic per-cell seeds), ``bench``
+records a ``BENCH_<rev>.json`` performance snapshot, and ``list`` shows the
+registered components of any kind together with their metadata.  Unknown
+component or experiment names exit with status 2 and a message naming the
+valid registered choices.
 
 The bare legacy form ``python -m repro.cli fig3`` (no subcommand) is still
 accepted and treated as ``run fig3``.
@@ -94,7 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.set_defaults(handler=_cmd_estimate)
 
     sweep = subparsers.add_parser(
-        "sweep", help="run a priors × datasets grid and print a comparison table"
+        "sweep",
+        help="run a priors × datasets grid and print a comparison table",
+        description=(
+            "Run every (prior, dataset) grid cell through the shared estimation "
+            "pipeline.  With --jobs N the cells run in N parallel worker "
+            "processes; every cell carries its own deterministic seeds, so the "
+            "grid result is identical regardless of the worker count."
+        ),
     )
     sweep.add_argument("--priors", nargs="+", default=("measured", "stable_fp", "stable_f"),
                        help="registered priors spanning the grid rows")
@@ -102,8 +113,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="registered datasets spanning the grid columns")
     sweep.add_argument("--timing", action="store_true",
                        help="also print the per-cell timing breakdown")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for grid cells (1 = serial, "
+                            "0 = one per CPU); deterministic per-cell seeds "
+                            "keep results identical at any worker count")
     _add_scenario_knobs(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the benchmark harness and write a BENCH_<rev>.json snapshot",
+        description=(
+            "Time the batched kernels against their per-bin reference loops "
+            "(and, without --quick, the full pytest-benchmark suite under "
+            "benchmarks/), then write the records as a BENCH_<rev>.json "
+            "trajectory file for cross-revision comparison."
+        ),
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="only the built-in micro-benchmarks (seconds; used by CI)")
+    bench.add_argument("--output", default=".",
+                       help="directory (or explicit .json path) for the BENCH file")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="best-of repetitions per micro-benchmark")
+    bench.add_argument("--rev", default=None,
+                       help="revision label for the file name (default: git short rev)")
+    bench.set_defaults(handler=_cmd_bench)
 
     lister = subparsers.add_parser(
         "list", help="list registered components (priors, datasets, ...)"
@@ -183,7 +218,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base.replace(prior=prior).validate()
     for dataset in args.datasets:
         base.replace(dataset=dataset).validate()
-    result = ScenarioRunner().sweep(priors=args.priors, datasets=args.datasets, base=base)
+    jobs = None if args.jobs == 0 else args.jobs
+    if jobs is not None and jobs < 0:
+        print("error: --jobs must be >= 0", file=sys.stderr)
+        return USAGE_EXIT_CODE
+    result = ScenarioRunner().sweep(
+        priors=args.priors, datasets=args.datasets, base=base, jobs=jobs
+    )
     grid = len(args.priors) * len(args.datasets)
     print(f"=== sweep: {len(args.priors)} priors x {len(args.datasets)} datasets "
           f"({len(result.results)}/{grid} cells ok) ===")
@@ -204,10 +245,39 @@ def _cmd_list(args: argparse.Namespace) -> int:
         for entry in registry.entries():
             description = f"  {entry.description}" if entry.description else ""
             print(f"  {entry.name:<14}{description}")
+            if entry.metadata:
+                hints = ", ".join(
+                    f"{key}={_format_metadata_value(value)}"
+                    for key, value in sorted(entry.metadata.items())
+                )
+                print(f"  {'':<14}  [{hints}]")
+    if args.kind in (None, "datasets", "priors"):
+        print()
+        print("sweeps over these components run in parallel with "
+              "`repro sweep --jobs N` (deterministic per-cell seeds).")
     return 0
 
 
-_SUBCOMMANDS = frozenset({"run", "estimate", "sweep", "list", "-h", "--help"})
+def _format_metadata_value(value) -> str:
+    if isinstance(value, (tuple, list)):
+        return "|".join(str(item) for item in value)
+    return str(value)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import benchmarking
+
+    records = benchmarking.run_benchmarks(quick=args.quick, repeat=args.repeat)
+    if str(args.output).endswith(".json"):
+        path = benchmarking.write_bench_json(records, path=args.output, revision=args.rev)
+    else:
+        path = benchmarking.write_bench_json(records, directory=args.output, revision=args.rev)
+    print(benchmarking.format_records(records))
+    print(f"\nwrote {len(records)} benchmark records to {path}")
+    return 0
+
+
+_SUBCOMMANDS = frozenset({"run", "estimate", "sweep", "bench", "list", "-h", "--help"})
 
 
 def _is_legacy_invocation(argv: list[str]) -> bool:

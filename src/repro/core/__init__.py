@@ -31,9 +31,12 @@ from repro.core.ic_model import (
     TimeVaryingICModel,
     degrees_of_freedom,
     general_ic_matrix,
+    general_ic_series,
     simplified_ic_matrix,
+    simplified_ic_series,
+    time_varying_ic_series,
 )
-from repro.core.gravity import GravityModel, gravity_matrix, gravity_series
+from repro.core.gravity import GravityModel, gravity_matrix, gravity_series, gravity_series_values
 from repro.core.fitting import FitResult, fit_stable_f, fit_stable_fp, fit_time_varying
 from repro.core.priors import (
     GravityPrior,
@@ -57,10 +60,14 @@ __all__ = [
     "StableFPICModel",
     "degrees_of_freedom",
     "general_ic_matrix",
+    "general_ic_series",
     "simplified_ic_matrix",
+    "simplified_ic_series",
+    "time_varying_ic_series",
     "GravityModel",
     "gravity_matrix",
     "gravity_series",
+    "gravity_series_values",
     "FitResult",
     "fit_stable_fp",
     "fit_stable_f",

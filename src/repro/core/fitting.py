@@ -95,20 +95,18 @@ class FitResult:
         return TrafficMatrixSeries(matrices, self.nodes or None, bin_seconds=bin_seconds)
 
     def predicted_values(self) -> np.ndarray:
-        """The fitted model's ``(T, n, n)`` traffic array."""
+        """The fitted model's ``(T, n, n)`` traffic array (vectorised over bins)."""
         if self.model == "stable-fP":
             return simplified_ic_series(float(self.forward_fraction), self.activity, self.preference)
         t = self.activity.shape[0]
-        matrices = np.empty((t, self.activity.shape[1], self.activity.shape[1]))
-        for step in range(t):
-            f_t = (
-                float(self.forward_fraction)
-                if np.isscalar(self.forward_fraction) or np.ndim(self.forward_fraction) == 0
-                else float(np.asarray(self.forward_fraction)[step])
-            )
-            pref = self.preference if self.preference.ndim == 1 else self.preference[step]
-            matrices[step] = simplified_ic_series(f_t, self.activity[step][None, :], pref)[0]
-        return matrices
+        if np.isscalar(self.forward_fraction) or np.ndim(self.forward_fraction) == 0:
+            forward = np.full(t, float(self.forward_fraction))
+        else:
+            forward = np.asarray(self.forward_fraction, dtype=float)
+        preference = self.preference
+        if preference.ndim == 1:
+            preference = np.broadcast_to(preference, self.activity.shape)
+        return time_varying_ic_series(forward, self.activity, preference)
 
 
 # ---------------------------------------------------------------------------
@@ -496,16 +494,14 @@ def _solve_forward_fraction_per_bin_shared(
 
 
 def _predict_per_bin(forward, activity: np.ndarray, preference: np.ndarray) -> np.ndarray:
-    """Model prediction when ``f`` and/or ``P`` vary per bin."""
+    """Model prediction when ``f`` and/or ``P`` vary per bin (vectorised)."""
     t, n = activity.shape
     forward = np.broadcast_to(np.asarray(forward, dtype=float), (t,)) if np.ndim(forward) else np.full(t, float(forward))
-    predicted = np.empty((t, n, n))
-    for step in range(t):
-        pref = preference[step] if preference.ndim == 2 else preference
-        total = max(float(pref.sum()), _EPS)
-        pref = pref / total
-        f_t = float(forward[step])
-        predicted[step] = f_t * np.outer(activity[step], pref) + (1.0 - f_t) * np.outer(
-            pref, activity[step]
-        )
-    return predicted
+    pref = preference if preference.ndim == 2 else np.broadcast_to(preference, (t, n))
+    totals = np.maximum(pref.sum(axis=1), _EPS)
+    pref = pref / totals[:, np.newaxis]
+    forward_part = forward[:, np.newaxis, np.newaxis] * np.einsum("ti,tj->tij", activity, pref)
+    reverse_part = (1.0 - forward)[:, np.newaxis, np.newaxis] * np.einsum(
+        "ti,tj->tij", pref, activity
+    )
+    return forward_part + reverse_part

@@ -21,10 +21,36 @@ import numpy as np
 
 from repro._validation import as_1d_array, require_nonnegative
 from repro.core.traffic_matrix import TrafficMatrix, TrafficMatrixSeries
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 from repro.registry import register_model
 
-__all__ = ["gravity_matrix", "gravity_series", "GravityModel"]
+__all__ = ["gravity_matrix", "gravity_series_values", "gravity_series", "GravityModel"]
+
+
+def gravity_series_values(ingress, egress) -> np.ndarray:
+    """Vectorised gravity kernel over ``(T, n)`` ingress/egress marginals.
+
+    Batched equivalent of stacking :func:`gravity_matrix` per bin; zero-traffic
+    bins yield all-zero matrices.  Returns a ``(T, n, n)`` array that is
+    bit-identical to the per-bin loop.
+    """
+    ingress = np.atleast_2d(np.asarray(ingress, dtype=float))
+    egress = np.atleast_2d(np.asarray(egress, dtype=float))
+    if ingress.ndim != 2 or ingress.shape != egress.shape:
+        raise ShapeError(
+            f"ingress and egress series must both have shape (T, n), "
+            f"got {ingress.shape} vs {egress.shape}"
+        )
+    for name, array in (("ingress", ingress), ("egress", egress)):
+        if not np.all(np.isfinite(array)):
+            raise ValidationError(f"{name} must contain only finite values")
+    ingress = require_nonnegative(ingress, "ingress")
+    egress = require_nonnegative(egress, "egress")
+    totals = ingress.sum(axis=1)
+    safe_totals = np.where(totals > 0, totals, 1.0)
+    estimates = np.einsum("ti,tj->tij", ingress, egress) / safe_totals[:, None, None]
+    estimates[totals <= 0] = 0.0
+    return estimates
 
 
 def gravity_matrix(ingress, egress) -> np.ndarray:
@@ -54,12 +80,7 @@ def gravity_series(series) -> TrafficMatrixSeries:
     """
     if not isinstance(series, TrafficMatrixSeries):
         series = TrafficMatrixSeries(series)
-    ingress = series.ingress
-    egress = series.egress
-    totals = ingress.sum(axis=1)
-    safe_totals = np.where(totals > 0, totals, 1.0)
-    estimates = np.einsum("ti,tj->tij", ingress, egress) / safe_totals[:, None, None]
-    estimates[totals <= 0] = 0.0
+    estimates = gravity_series_values(series.ingress, series.egress)
     return TrafficMatrixSeries(estimates, series.nodes, bin_seconds=series.bin_seconds)
 
 
@@ -81,16 +102,14 @@ class GravityModel:
         return gravity_matrix(ingress, egress)
 
     def series(self, ingress_series, egress_series, *, bin_seconds: float = 300.0) -> TrafficMatrixSeries:
-        """Gravity series from ``(T, n)`` ingress and egress count series."""
+        """Gravity series from ``(T, n)`` ingress and egress count series (vectorised)."""
         ingress = np.atleast_2d(np.asarray(ingress_series, dtype=float))
         egress = np.atleast_2d(np.asarray(egress_series, dtype=float))
         if ingress.shape != egress.shape:
             raise ShapeError(
                 f"ingress and egress series must match, got {ingress.shape} vs {egress.shape}"
             )
-        matrices = np.stack(
-            [gravity_matrix(ingress[t], egress[t]) for t in range(ingress.shape[0])]
-        )
+        matrices = gravity_series_values(ingress, egress)
         return TrafficMatrixSeries(matrices, self._nodes, bin_seconds=bin_seconds)
 
     def fit_series(self, series: TrafficMatrixSeries) -> TrafficMatrixSeries:

@@ -45,6 +45,9 @@ __all__ = [
     "ICParameters",
     "general_ic_matrix",
     "simplified_ic_matrix",
+    "general_ic_series",
+    "simplified_ic_series",
+    "time_varying_ic_series",
     "GeneralICModel",
     "SimplifiedICModel",
     "TimeVaryingICModel",
@@ -52,6 +55,23 @@ __all__ = [
     "StableFPICModel",
     "degrees_of_freedom",
 ]
+
+
+def _as_series_2d(values, name: str, *, length: int | None = None) -> np.ndarray:
+    """Coerce ``values`` into a validated non-negative ``(T, n)`` float array."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim == 1:
+        array = array[np.newaxis, :]
+    if array.ndim != 2:
+        raise ShapeError(f"{name} must have shape (T, n), got {array.shape}")
+    if length is not None and array.shape[1] != length:
+        raise ShapeError(f"{name} must have n={length} columns, got {array.shape[1]}")
+    if not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} must contain only finite values")
+    minimum = float(array.min()) if array.size else 0.0
+    if minimum < 0.0:
+        raise ValidationError(f"{name} must be non-negative, found minimum {minimum}")
+    return np.clip(array, 0.0, None)
 
 
 # ---------------------------------------------------------------------------
@@ -102,11 +122,22 @@ def simplified_ic_matrix(forward_fraction: float, activity, preference) -> np.nd
     return f * np.outer(a, p) + (1.0 - f) * np.outer(p, a)
 
 
+# Per-chunk working-set budget for the series kernels: bins are processed in
+# blocks whose (chunk, n, n) outer-product stack fits the cache, which keeps
+# the scale / transpose / accumulate passes in L2 instead of main memory.
+_KERNEL_CHUNK_BYTES = 256 * 1024
+
+
+def _kernel_chunk(n: int) -> int:
+    return max(1, _KERNEL_CHUNK_BYTES // max(n * n * 8, 1))
+
+
 def simplified_ic_series(forward_fraction: float, activity_series, preference) -> np.ndarray:
     """Vectorised simplified IC model over a ``(T, n)`` activity series.
 
-    Returns a ``(T, n, n)`` array; used by the stable-fP model and by the
-    fitting code where speed matters.
+    Returns a ``(T, n, n)`` array that is bit-identical to stacking
+    :func:`simplified_ic_matrix` per bin; used by the stable-fP model and by
+    the fitting code where speed matters.
     """
     f = require_probability(forward_fraction, "forward_fraction")
     a = np.asarray(activity_series, dtype=float)
@@ -118,9 +149,91 @@ def simplified_ic_series(forward_fraction: float, activity_series, preference) -
         as_1d_array(preference, "preference", length=a.shape[1]), "preference"
     )
     p = normalized(p, "preference")
-    forward = f * np.einsum("ti,j->tij", a, p)
-    reverse = (1.0 - f) * np.einsum("tj,i->tij", a, p)
-    return forward + reverse
+    t, n = a.shape
+    out = np.empty((t, n, n))
+    chunk = _kernel_chunk(n)
+    for start in range(0, t, chunk):
+        stop = min(start + chunk, t)
+        base = np.einsum("ti,j->tij", a[start:stop], p)  # A_i * P_j per bin
+        block = out[start:stop]
+        np.multiply(base, f, out=block)                  # f * (A_i P_j)
+        base *= 1.0 - f                                  # (1-f) * (A_i P_j)
+        block += base.transpose(0, 2, 1)                 # + (1-f) * (P_i A_j)
+    return out
+
+
+def general_ic_series(forward_fraction, activity_series, preference) -> np.ndarray:
+    """Vectorised general IC model (Eq. 1) over a ``(T, n)`` activity series.
+
+    Batched equivalent of stacking :func:`general_ic_matrix` per bin: the
+    ``(n, n)`` forward-fraction matrix and the ``(n,)`` preference vector are
+    fixed while activity varies with time.  Returns a ``(T, n, n)`` array
+    that is bit-identical to the per-bin loop.
+    """
+    f = as_square_matrix(forward_fraction, "forward_fraction")
+    if np.any(f < 0.0) or np.any(f > 1.0):
+        raise ValidationError("forward_fraction entries must lie in [0, 1]")
+    n = f.shape[0]
+    a = _as_series_2d(activity_series, "activity_series", length=n)
+    p = require_nonnegative(as_1d_array(preference, "preference", length=n), "preference")
+    p = normalized(p, "preference")
+    reverse_fraction = np.ascontiguousarray(1.0 - f.T)
+    t = a.shape[0]
+    out = np.empty((t, n, n))
+    chunk = _kernel_chunk(n)
+    for start in range(0, t, chunk):
+        stop = min(start + chunk, t)
+        base = np.einsum("ti,j->tij", a[start:stop], p)    # A_i * P_j per bin
+        block = out[start:stop]
+        np.multiply(base, f, out=block)                    # f_ij * (A_i P_j)
+        block += reverse_fraction * base.transpose(0, 2, 1)  # + (1-f_ji) * (P_i A_j)
+    return out
+
+
+def time_varying_ic_series(forward_series, activity_series, preference_series) -> np.ndarray:
+    """Vectorised simplified IC model with per-bin ``f(t)``/``A(t)``/``P(t)``.
+
+    Batched equivalent of stacking ``simplified_ic_matrix(f[t], a[t], p[t])``
+    per bin (Eqs. 3-4): the preference of each bin is normalised to sum to
+    one independently.  ``forward_series`` may be a scalar (stable-f, Eq. 4)
+    or a length-``T`` array (time-varying, Eq. 3).  Returns a ``(T, n, n)``
+    array that is bit-identical to the per-bin loop.
+    """
+    a = _as_series_2d(activity_series, "activity_series")
+    p = _as_series_2d(preference_series, "preference_series", length=a.shape[1])
+    if a.shape[0] != p.shape[0]:
+        raise ShapeError(
+            f"activity and preference series must match, got {a.shape} vs {p.shape}"
+        )
+    t = a.shape[0]
+    f = np.asarray(forward_series, dtype=float)
+    if f.ndim == 0:
+        f = np.full(t, require_probability(float(f), "forward_fraction"))
+    elif f.ndim == 1:
+        if f.shape[0] != t:
+            raise ShapeError(f"forward_series must have length T={t}, got {f.shape[0]}")
+        if not np.all(np.isfinite(f)) or np.any(f < 0.0) or np.any(f > 1.0):
+            raise ValidationError("forward_series entries must lie in [0, 1]")
+    else:
+        raise ShapeError(f"forward_series must be a scalar or (T,) array, got {f.shape}")
+    totals = p.sum(axis=1)
+    if np.any(totals <= 0.0):
+        raise ValidationError(
+            "preference_series must have a positive sum in every bin to be normalised"
+        )
+    p = p / totals[:, np.newaxis]
+    n = a.shape[1]
+    out = np.empty((t, n, n))
+    chunk = _kernel_chunk(n)
+    for start in range(0, t, chunk):
+        stop = min(start + chunk, t)
+        base = np.einsum("ti,tj->tij", a[start:stop], p[start:stop])  # A_i(t) * P_j(t)
+        block = out[start:stop]
+        f_block = f[start:stop, np.newaxis, np.newaxis]
+        np.multiply(base, f_block, out=block)      # f(t) * (A_i P_j)
+        base *= 1.0 - f_block                      # (1-f(t)) * (A_i P_j)
+        block += base.transpose(0, 2, 1)           # + (1-f(t)) * (P_i A_j)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -211,9 +324,8 @@ class GeneralICModel:
         return general_ic_matrix(self._forward, activity, self._preference)
 
     def series(self, activity_series, *, bin_seconds: float = 300.0) -> TrafficMatrixSeries:
-        """Traffic-matrix series for a ``(T, n)`` activity series."""
-        a = np.atleast_2d(np.asarray(activity_series, dtype=float))
-        matrices = np.stack([self.matrix(a[t]) for t in range(a.shape[0])])
+        """Traffic-matrix series for a ``(T, n)`` activity series (vectorised)."""
+        matrices = general_ic_series(self._forward, activity_series, self._preference)
         return TrafficMatrixSeries(matrices, self._nodes, bin_seconds=bin_seconds)
 
 
@@ -288,18 +400,15 @@ class StableFICModel:
     def series(
         self, activity_series, preference_series, *, bin_seconds: float = 300.0
     ) -> TrafficMatrixSeries:
-        """Series from per-bin activity ``(T, n)`` and preference ``(T, n)``."""
+        """Series from per-bin activity ``(T, n)`` and preference ``(T, n)`` (vectorised)."""
         a = np.atleast_2d(np.asarray(activity_series, dtype=float))
         p = np.atleast_2d(np.asarray(preference_series, dtype=float))
         if a.shape != p.shape:
             raise ShapeError(
                 f"activity and preference series must match, got {a.shape} vs {p.shape}"
             )
-        matrices = np.stack(
-            [simplified_ic_matrix(self._forward, a[t], p[t]) for t in range(a.shape[0])]
-        )
-        nodes = self._nodes
-        return TrafficMatrixSeries(matrices, nodes, bin_seconds=bin_seconds)
+        matrices = time_varying_ic_series(self._forward, a, p)
+        return TrafficMatrixSeries(matrices, self._nodes, bin_seconds=bin_seconds)
 
     def degrees_of_freedom(self, n_nodes: int, timesteps: int) -> int:
         """Inputs needed for ``timesteps`` bins: ``2*n*t + 1``."""
@@ -327,7 +436,7 @@ class TimeVaryingICModel:
         *,
         bin_seconds: float = 300.0,
     ) -> TrafficMatrixSeries:
-        """Series from per-bin ``f(t)``, ``A(t)`` and ``P(t)``."""
+        """Series from per-bin ``f(t)``, ``A(t)`` and ``P(t)`` (vectorised)."""
         f = np.atleast_1d(np.asarray(forward_series, dtype=float))
         a = np.atleast_2d(np.asarray(activity_series, dtype=float))
         p = np.atleast_2d(np.asarray(preference_series, dtype=float))
@@ -337,9 +446,7 @@ class TimeVaryingICModel:
             raise ShapeError(
                 f"activity and preference series must match, got {a.shape} vs {p.shape}"
             )
-        matrices = np.stack(
-            [simplified_ic_matrix(float(f[t]), a[t], p[t]) for t in range(a.shape[0])]
-        )
+        matrices = time_varying_ic_series(f, a, p)
         return TrafficMatrixSeries(matrices, self._nodes, bin_seconds=bin_seconds)
 
     def degrees_of_freedom(self, n_nodes: int, timesteps: int) -> int:

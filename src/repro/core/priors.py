@@ -31,8 +31,8 @@ from repro._validation import (
     require_nonnegative,
     require_probability,
 )
-from repro.core.gravity import gravity_matrix
-from repro.core.ic_model import simplified_ic_matrix, simplified_ic_series
+from repro.core.gravity import gravity_series_values
+from repro.core.ic_model import simplified_ic_series, time_varying_ic_series
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.errors import ShapeError, ValidationError
 from repro.registry import register_prior
@@ -167,9 +167,7 @@ class GravityPrior:
         egress = np.atleast_2d(np.asarray(egress, dtype=float))
         if ingress.shape != egress.shape:
             raise ShapeError("ingress and egress series must have the same shape")
-        matrices = np.stack(
-            [gravity_matrix(ingress[t], egress[t]) for t in range(ingress.shape[0])]
-        )
+        matrices = gravity_series_values(ingress, egress)
         return TrafficMatrixSeries(matrices, nodes, bin_seconds=bin_seconds)
 
 
@@ -306,18 +304,22 @@ class StableFPrior:
         return stable_f_closed_form(self._forward, ingress, egress)
 
     def series(self, ingress, egress, *, nodes=None, bin_seconds: float = 300.0) -> TrafficMatrixSeries:
-        """Prior series built bin-by-bin from the marginal counts."""
+        """Prior series built from the marginal counts (vectorised over bins)."""
         ingress = np.atleast_2d(np.asarray(ingress, dtype=float))
         egress = np.atleast_2d(np.asarray(egress, dtype=float))
         activity, preference = stable_f_closed_form(self._forward, ingress, egress)
-        matrices = np.stack(
-            [
-                simplified_ic_matrix(self._forward, activity[t], preference[t])
-                if preference[t].sum() > 0
-                else np.zeros((ingress.shape[1], ingress.shape[1]))
-                for t in range(ingress.shape[0])
-            ]
-        )
+        activity = np.atleast_2d(activity)
+        preference = np.atleast_2d(preference)
+        usable = preference.sum(axis=1) > 0
+        t, n = ingress.shape
+        if np.all(usable):
+            matrices = time_varying_ic_series(self._forward, activity, preference)
+        else:
+            matrices = np.zeros((t, n, n))
+            if np.any(usable):
+                matrices[usable] = time_varying_ic_series(
+                    self._forward, activity[usable], preference[usable]
+                )
         return TrafficMatrixSeries(matrices, nodes, bin_seconds=bin_seconds)
 
 

@@ -19,7 +19,10 @@ available in :mod:`repro.estimation.entropy` as an alternative step 2.
 
 from repro.estimation.linear_system import LinkLoadSystem, simulate_link_loads
 from repro.estimation.tomogravity import tomogravity_estimate
-from repro.estimation.ipf import iterative_proportional_fitting
+from repro.estimation.ipf import (
+    iterative_proportional_fitting,
+    iterative_proportional_fitting_series,
+)
 from repro.estimation.entropy import entropy_estimate
 from repro.estimation.pipeline import EstimationResult, TMEstimator
 
@@ -28,6 +31,7 @@ __all__ = [
     "simulate_link_loads",
     "tomogravity_estimate",
     "iterative_proportional_fitting",
+    "iterative_proportional_fitting_series",
     "entropy_estimate",
     "EstimationResult",
     "TMEstimator",

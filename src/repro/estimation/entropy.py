@@ -43,9 +43,11 @@ def entropy_estimate(
     Parameters
     ----------
     prior:
-        Prior OD-flow vector, shape ``(n_od,)``; must be non-negative.
+        Prior OD-flow vector, shape ``(n_od,)``, or a batch ``(T, n_od)``;
+        must be non-negative.
     observation_matrix, observations:
-        The system ``B x ≈ z``.
+        The system ``B x ≈ z``; observations are ``(n_obs,)`` or ``(T, n_obs)``
+        matching the prior batch.
     penalty:
         Weight of the quadratic penalty on the normalised constraint residual.
     max_iterations:
@@ -54,7 +56,20 @@ def entropy_estimate(
     prior = np.asarray(prior, dtype=float)
     matrix = np.asarray(observation_matrix, dtype=float)
     observed = np.asarray(observations, dtype=float)
-    if prior.ndim != 1 or matrix.ndim != 2 or observed.ndim != 1:
+    if matrix.ndim != 2:
+        raise ShapeError("entropy_estimate expects a 2-D observation matrix")
+    if prior.ndim == 2:
+        if observed.shape != (prior.shape[0], matrix.shape[0]):
+            raise ShapeError(
+                "observations must have shape (T, n_obs) matching the prior batch and matrix rows"
+            )
+        estimates = np.empty_like(prior)
+        for t in range(prior.shape[0]):
+            estimates[t] = entropy_estimate(
+                prior[t], matrix, observed[t], penalty=penalty, max_iterations=max_iterations
+            )
+        return estimates
+    if prior.ndim != 1 or observed.ndim != 1:
         raise ShapeError("entropy_estimate expects 1-D prior/observations and a 2-D matrix")
     if matrix.shape != (observed.shape[0], prior.shape[0]):
         raise ShapeError(

@@ -16,7 +16,7 @@ import numpy as np
 from repro.core.metrics import percent_improvement, rel_l2_temporal_error
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.errors import ValidationError
-from repro.estimation.ipf import iterative_proportional_fitting
+from repro.estimation.ipf import iterative_proportional_fitting_series
 from repro.estimation.linear_system import LinkLoadSystem
 from repro.estimation.tomogravity import tomogravity_estimate
 from repro.estimation.entropy import entropy_estimate
@@ -129,20 +129,16 @@ class TMEstimator:
             matrix, observations = system.routing.matrix, system.link_loads
 
         prior_vectors = prior.to_vectors()
-        refined = np.empty_like(prior_vectors)
-        for t in range(system.n_timesteps):
-            if self._method == "tomogravity":
-                refined[t] = tomogravity_estimate(prior_vectors[t], matrix, observations[t])
-            else:
-                refined[t] = entropy_estimate(prior_vectors[t], matrix, observations[t])
-        estimates = refined.reshape(system.n_timesteps, n, n)
-        for t in range(system.n_timesteps):
-            estimates[t] = iterative_proportional_fitting(
-                estimates[t],
-                system.ingress[t],
-                system.egress[t],
-                max_iterations=self._ipf_iterations,
-            )
+        if self._method == "tomogravity":
+            refined = tomogravity_estimate(prior_vectors, matrix, observations)
+        else:
+            refined = entropy_estimate(prior_vectors, matrix, observations)
+        estimates = iterative_proportional_fitting_series(
+            refined.reshape(system.n_timesteps, n, n),
+            system.ingress,
+            system.egress,
+            max_iterations=self._ipf_iterations,
+        )
         estimate_series = TrafficMatrixSeries(
             estimates, prior.nodes, bin_seconds=prior.bin_seconds
         )

@@ -79,24 +79,51 @@ def tomogravity_estimate(
         )
 
     estimates = np.empty_like(prior_batch)
-    for t in range(prior_batch.shape[0]):
-        estimates[t] = _refine_single(prior_batch[t], matrix, obs_batch[t], weight_floor)
+    for start, stop in _chunks(prior_batch.shape[0], matrix.shape):
+        estimates[start:stop] = _refine_chunk(
+            prior_batch[start:stop], matrix, obs_batch[start:stop], weight_floor
+        )
     return estimates[0] if single else estimates
 
 
-def _refine_single(
-    prior: np.ndarray, matrix: np.ndarray, observed: np.ndarray, weight_floor: float | None
+# Budget (bytes) for the per-chunk (T_chunk, n_obs, n_od) weighted-matrix
+# stack; bounds memory while still batching the gram/pinv linear algebra.
+_CHUNK_BYTES = 128 * 1024 * 1024
+
+
+def _chunks(n_bins: int, matrix_shape: tuple[int, int]):
+    """Yield ``(start, stop)`` chunk bounds sized to the memory budget."""
+    per_bin = max(int(matrix_shape[0]) * int(matrix_shape[1]) * 8, 1)
+    size = max(int(_CHUNK_BYTES // per_bin), 1)
+    for start in range(0, n_bins, size):
+        yield start, min(start + size, n_bins)
+
+
+def _refine_chunk(
+    priors: np.ndarray, matrix: np.ndarray, observed: np.ndarray, weight_floor: float | None
 ) -> np.ndarray:
-    floor = weight_floor
-    if floor is None:
-        mean_prior = float(prior.mean()) if prior.size else 0.0
-        floor = max(mean_prior * 1e-3, _EPS)
-    weights = np.maximum(prior, floor)
-    residual = observed - matrix @ prior
-    weighted = matrix * weights  # B W, since W is diagonal
-    gram = weighted @ matrix.T  # B W B^T
+    """Refine a ``(T, n_od)`` chunk of priors with stacked linear algebra.
+
+    The per-bin weights make every bin's normal matrix different, so the
+    gram construction and pseudo-inverse are batched over the chunk; each
+    slice performs exactly the operations of the former per-bin loop and the
+    result is bit-identical to it.
+    """
+    if weight_floor is None:
+        means = priors.mean(axis=1) if priors.shape[1] else np.zeros(priors.shape[0])
+        floors = np.maximum(means * 1e-3, _EPS)
+    else:
+        floors = np.full(priors.shape[0], float(weight_floor))
+    weights = np.maximum(priors, floors[:, np.newaxis])
+    weighted = matrix[np.newaxis, :, :] * weights[:, np.newaxis, :]  # B W per bin
+    gram = weighted @ matrix.T  # B W B^T, stacked
     try:
-        correction = weighted.T @ np.linalg.pinv(gram, rcond=1e-10) @ residual
+        gram_pinv = np.linalg.pinv(gram, rcond=1e-10)
     except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
         raise EstimationError("failed to invert the weighted normal matrix") from exc
-    return np.clip(prior + correction, 0.0, None)
+    estimates = np.empty_like(priors)
+    for t in range(priors.shape[0]):
+        residual = observed[t] - matrix @ priors[t]
+        correction = weighted[t].T @ gram_pinv[t] @ residual
+        estimates[t] = np.clip(priors[t] + correction, 0.0, None)
+    return estimates

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core.fitting import fit_stable_fp
 from repro.core.gravity import gravity_series
-from repro.core.ic_model import general_ic_matrix
+from repro.core.ic_model import general_ic_series
 from repro.core.metrics import mean_relative_error
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.experiments._common import format_rows
@@ -100,9 +100,7 @@ def run_routing_asymmetry(
         perturbation = rng.normal(0.0, level, size=(n_nodes, n_nodes)) if level > 0 else np.zeros((n_nodes, n_nodes))
         antisymmetric = (perturbation - perturbation.T) / 2.0
         f_matrix = np.clip(base_f + antisymmetric, 0.02, 0.98)
-        matrices = np.stack(
-            [general_ic_matrix(f_matrix, activity[t], preference) for t in range(n_bins)]
-        )
+        matrices = general_ic_series(f_matrix, activity, preference)
         noise = rng.lognormal(0.0, 0.05, size=matrices.shape)
         series = TrafficMatrixSeries(matrices * noise)
         fit = fit_stable_fp(series)

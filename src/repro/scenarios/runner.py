@@ -20,7 +20,10 @@ datasets performs M synthesis runs, not N×M.
 
 from __future__ import annotations
 
+import os
 import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -271,6 +274,7 @@ class ScenarioRunner:
         priors: Sequence[str],
         datasets: Sequence[str],
         base: Scenario | dict | None = None,
+        jobs: int | None = 1,
         **overrides,
     ) -> "SweepResult":
         """Run the full priors × datasets grid and collect a comparison.
@@ -282,6 +286,16 @@ class ScenarioRunner:
         base:
             Scenario (or plain dict) supplying the shared knobs; the grid
             cell overwrites its ``dataset`` and ``prior``.
+        jobs:
+            Number of worker processes running grid cells concurrently.
+            ``1`` (the default) runs the cells serially in this process;
+            ``None`` uses one worker per CPU.  Results are deterministic
+            regardless of ``jobs``: every cell carries its own explicit
+            ``seed``/``dataset_seed``, and cells are collected in grid order,
+            so scheduling cannot change the outcome.  Parallel workers do
+            not share the in-process dataset cache, so each worker pays its
+            own synthesis cost — the win comes from running independent
+            estimation pipelines on separate cores.
         overrides:
             Additional Scenario fields applied on top of ``base``.
         """
@@ -308,21 +322,66 @@ class ScenarioRunner:
                 continue
             needed = max(max(calibration, target) + 1, cell.n_weeks or 0)
             weeks_needed[cell.dataset] = max(weeks_needed.get(cell.dataset, 0), needed)
+        cells = [
+            cell.replace(n_weeks=weeks_needed[cell.dataset])
+            if cell.dataset in weeks_needed
+            else cell
+            for cell in cells
+        ]
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs > 1 and len(cells) > 1:
+            outcomes = self._sweep_parallel(cells, jobs)
+        else:
+            outcomes = [self._run_cell_guarded(cell) for cell in cells]
         results: list[ScenarioResult] = []
         failures: list[tuple[Scenario, str]] = []
-        for cell in cells:
-            if cell.dataset in weeks_needed:
-                cell = cell.replace(n_weeks=weeks_needed[cell.dataset])
-            try:
-                results.append(self.run(cell))
-            except Exception as exc:  # noqa: BLE001 - a cell failure should not kill the grid
-                failures.append((cell, f"{type(exc).__name__}: {exc}"))
+        for cell, (result, message) in zip(cells, outcomes):
+            if message is None:
+                results.append(result)
+            else:
+                failures.append((cell, message))
         return SweepResult(
             priors=tuple(canonical_name(prior) for prior in priors),
             datasets=tuple(canonical_name(dataset) for dataset in datasets),
             results=results,
             failures=failures,
         )
+
+    def _run_cell_guarded(self, cell: Scenario) -> tuple:
+        """Run one cell on this runner, wrapping failures like the workers do."""
+        try:
+            return self.run(cell), None
+        except Exception as exc:  # noqa: BLE001 - a cell failure should not kill the grid
+            return None, f"{type(exc).__name__}: {exc}"
+
+    def _sweep_parallel(self, cells: list[Scenario], jobs: int) -> list[tuple]:
+        """Run the grid cells in worker processes, preserving grid order."""
+        payloads = [(self._baseline, cell) for cell in cells]
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+                return list(pool.map(_run_sweep_cell, payloads))
+        except (OSError, PermissionError, RuntimeError) as exc:
+            warnings.warn(
+                f"parallel sweep unavailable ({type(exc).__name__}: {exc}); "
+                "falling back to a serial run",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [self._run_cell_guarded(cell) for cell in cells]
+
+
+def _run_sweep_cell(payload: tuple) -> tuple:
+    """Execute one sweep cell; top-level so worker processes can pickle it.
+
+    Returns ``(result, None)`` on success and ``(None, message)`` on failure,
+    so one singular configuration cannot sink a whole batch.
+    """
+    baseline, cell = payload
+    try:
+        return ScenarioRunner(baseline_prior=baseline).run(cell), None
+    except Exception as exc:  # noqa: BLE001 - a cell failure should not kill the grid
+        return None, f"{type(exc).__name__}: {exc}"
 
 
 @dataclass
@@ -391,7 +450,14 @@ def run_scenario(scenario: Scenario | dict, **runner_kwargs) -> ScenarioResult:
 
 
 def sweep(
-    *, priors: Sequence[str], datasets: Sequence[str], base: Scenario | dict | None = None, **overrides
+    *,
+    priors: Sequence[str],
+    datasets: Sequence[str],
+    base: Scenario | dict | None = None,
+    jobs: int | None = 1,
+    **overrides,
 ) -> SweepResult:
     """Convenience wrapper around :meth:`ScenarioRunner.sweep`."""
-    return ScenarioRunner().sweep(priors=priors, datasets=datasets, base=base, **overrides)
+    return ScenarioRunner().sweep(
+        priors=priors, datasets=datasets, base=base, jobs=jobs, **overrides
+    )

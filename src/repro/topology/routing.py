@@ -12,16 +12,20 @@ Routing is computed from IGP link weights with Dijkstra's algorithm
 so its routing-matrix column is zero — exactly why TM estimation is
 under-constrained and why the augmented system also carries the ingress and
 egress counts.
+
+A routing matrix has only ``O(n^2 * path_length)`` non-zeros out of
+``n_links * n^2`` entries, so :class:`RoutingMatrix` stores a
+``scipy.sparse`` CSR matrix and materialises the dense array lazily (and
+caches it) for the callers that need dense linear algebra.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import networkx as nx
 import numpy as np
+from scipy import sparse
 
-from repro.errors import TopologyError
+from repro.errors import ShapeError, TopologyError
 from repro.topology.topology import Topology
 
 __all__ = ["RoutingMatrix", "shortest_paths", "build_routing_matrix"]
@@ -69,52 +73,148 @@ def shortest_paths(topology: Topology, *, all_paths: bool = False) -> dict[tuple
     return result
 
 
-@dataclass(frozen=True)
 class RoutingMatrix:
     """A routing matrix together with the link and OD-pair orderings it uses.
 
-    Attributes
+    Parameters
     ----------
     matrix:
-        Array of shape ``(n_links, n_nodes**2)``; entry ``(r, s)`` is the
-        fraction of OD pair ``s`` carried on link ``r``.
+        Either a dense ``(n_links, n_nodes**2)`` array or a ``scipy.sparse``
+        matrix of the same shape; entry ``(r, s)`` is the fraction of OD pair
+        ``s`` carried on link ``r``.  Whichever representation is supplied,
+        the other is derived lazily and cached.
     links:
         The directed links, in row order.
     nodes:
         PoP names, defining the row-major OD-pair column order.
     """
 
-    matrix: np.ndarray
-    links: tuple
-    nodes: tuple[str, ...]
+    def __init__(self, matrix, links: tuple, nodes: tuple[str, ...]):
+        self._links = tuple(links)
+        self._nodes = tuple(str(node) for node in nodes)
+        if sparse.issparse(matrix):
+            self._sparse: sparse.csr_matrix | None = matrix.tocsr()
+            self._dense: np.ndarray | None = None
+            shape = self._sparse.shape
+        else:
+            self._dense = np.asarray(matrix, dtype=float)
+            self._sparse = None
+            shape = self._dense.shape
+        self._csc: sparse.csc_matrix | None = None
+        n = len(self._nodes)
+        if len(shape) != 2 or shape != (len(self._links), n * n):
+            raise ShapeError(
+                f"routing matrix must have shape (n_links, n_nodes**2) = "
+                f"({len(self._links)}, {n * n}), got {shape}"
+            )
+        self._node_index = {node: i for i, node in enumerate(self._nodes)}
+
+    # -- representations ----------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The dense ``(n_links, n_nodes**2)`` array (materialised lazily, cached).
+
+        Returned read-only: the dense and sparse forms are cached views of
+        one logical matrix, so in-place edits would silently desynchronise
+        them.
+        """
+        if self._dense is None:
+            self._dense = self._sparse.toarray()
+        view = self._dense.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def sparse(self) -> sparse.csr_matrix:
+        """The CSR form (materialised lazily from a dense input, cached)."""
+        if self._sparse is None:
+            self._sparse = sparse.csr_matrix(self._dense)
+        return self._sparse
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def links(self) -> tuple:
+        return self._links
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return self._nodes
 
     @property
     def n_links(self) -> int:
-        return self.matrix.shape[0]
+        return len(self._links)
 
     @property
     def n_nodes(self) -> int:
-        return len(self.nodes)
+        return len(self._nodes)
+
+    def node_index(self, name: str) -> int:
+        """Index of the PoP called ``name`` (cached O(1) lookup)."""
+        try:
+            return self._node_index[name]
+        except KeyError as exc:
+            raise TopologyError(f"unknown node {name!r} in routing matrix") from exc
 
     def column(self, origin: str, destination: str) -> np.ndarray:
         """The routing-matrix column of the OD pair ``origin -> destination``."""
-        n = self.n_nodes
-        i = self.nodes.index(origin)
-        j = self.nodes.index(destination)
-        return self.matrix[:, i * n + j]
+        col = self.node_index(origin) * self.n_nodes + self.node_index(destination)
+        if self._dense is not None:
+            return self._dense[:, col].copy()
+        if self._csc is None:
+            self._csc = self.sparse.tocsc()
+        column = np.zeros(self.n_links)
+        start, stop = self._csc.indptr[col], self._csc.indptr[col + 1]
+        column[self._csc.indices[start:stop]] = self._csc.data[start:stop]
+        return column
 
-    def link_loads(self, traffic_vector: np.ndarray) -> np.ndarray:
-        """Link loads ``Y = R x`` for a vectorised traffic matrix (or ``(T, n^2)`` stack)."""
-        traffic_vector = np.asarray(traffic_vector, dtype=float)
-        return traffic_vector @ self.matrix.T if traffic_vector.ndim == 2 else self.matrix @ traffic_vector
+    def link_loads(self, traffic_vector: np.ndarray, *, use_sparse: bool = False) -> np.ndarray:
+        """Link loads ``Y = R x`` for vectorised traffic matrices.
+
+        Accepts a single ``(n^2,)`` vector, a ``(T, n^2)`` time series or a
+        ``(B, T, n^2)`` batch of series; the returned array mirrors the input
+        shape with the trailing axis replaced by ``n_links``.  With
+        ``use_sparse=True`` the product runs on the CSR form — much faster
+        and lighter for large topologies, at the cost of a different
+        floating-point summation order than the dense product.
+        """
+        traffic = np.asarray(traffic_vector, dtype=float)
+        n_od = self.n_nodes * self.n_nodes
+        if traffic.ndim == 0 or traffic.ndim > 3 or traffic.shape[-1] != n_od:
+            raise ShapeError(
+                f"traffic vectors must have trailing dimension n_nodes**2 = {n_od} "
+                f"and at most 3 dimensions, got shape {traffic.shape}"
+            )
+        if traffic.ndim == 1:
+            if use_sparse:
+                return self.sparse @ traffic
+            return self.matrix @ traffic
+        flat = traffic.reshape(-1, n_od)
+        if use_sparse:
+            loads = (self.sparse @ flat.T).T
+        else:
+            loads = flat @ self.matrix.T
+        return np.asarray(loads).reshape(*traffic.shape[:-1], self.n_links)
 
     def rank(self) -> int:
         """Numerical rank of the routing matrix (always < n^2: the system is ill-posed)."""
         return int(np.linalg.matrix_rank(self.matrix))
 
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoutingMatrix(n_links={self.n_links}, n_nodes={self.n_nodes}, "
+            f"nnz={self.sparse.nnz})"
+        )
+
 
 def build_routing_matrix(topology: Topology, *, ecmp: bool = True) -> RoutingMatrix:
     """Build the routing matrix of ``topology`` from IGP shortest paths.
+
+    The matrix is assembled as sparse COO triplets from the per-origin
+    shortest-path traversal and stored as CSR; equal-cost shares accumulate
+    exactly as the former dense ``+=`` loop did, so the dense
+    materialisation is bit-identical to the historical dense build.
 
     Parameters
     ----------
@@ -128,14 +228,24 @@ def build_routing_matrix(topology: Topology, *, ecmp: bool = True) -> RoutingMat
     paths = shortest_paths(topology, all_paths=ecmp)
     links = topology.links
     link_index = {link.key: r for r, link in enumerate(links)}
-    n = topology.n_nodes
-    matrix = np.zeros((len(links), n * n))
+    nodes = topology.nodes
+    node_index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    entries: dict[tuple[int, int], float] = {}
     for (origin, destination), node_paths in paths.items():
         if origin == destination:
             continue
-        column = topology.node_index(origin) * n + topology.node_index(destination)
+        column = node_index[origin] * n + node_index[destination]
         share = 1.0 / len(node_paths)
         for node_path in node_paths:
             for hop_source, hop_target in zip(node_path[:-1], node_path[1:]):
-                matrix[link_index[(hop_source, hop_target)], column] += share
-    return RoutingMatrix(matrix=matrix, links=tuple(links), nodes=topology.nodes)
+                key = (link_index[(hop_source, hop_target)], column)
+                entries[key] = entries.get(key, 0.0) + share
+    if entries:
+        rows, cols = (np.asarray(axis, dtype=np.int64) for axis in zip(*entries))
+        data = np.fromiter(entries.values(), dtype=float, count=len(entries))
+    else:  # pragma: no cover - single-node topology
+        rows = cols = np.zeros(0, dtype=np.int64)
+        data = np.zeros(0)
+    matrix = sparse.csr_matrix((data, (rows, cols)), shape=(len(links), n * n))
+    return RoutingMatrix(matrix=matrix, links=tuple(links), nodes=nodes)

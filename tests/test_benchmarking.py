@@ -1,0 +1,154 @@
+"""Tests for the benchmark harness, the BENCH JSON format and `repro bench`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchmarking import (
+    BenchmarkRecord,
+    bench_ic_series_kernel,
+    bench_ipf_series,
+    bench_routing_matrix,
+    bench_tomogravity_batch,
+    current_revision,
+    environment_info,
+    format_records,
+    run_benchmarks,
+    write_bench_json,
+)
+from repro.cli import main
+
+
+class TestRecordsAndWriter:
+    def test_record_roundtrip(self):
+        record = BenchmarkRecord("x", 0.5, {"speedup": 2.0})
+        assert record.to_dict() == {
+            "name": "x",
+            "wall_seconds": 0.5,
+            "extra_info": {"speedup": 2.0},
+        }
+
+    def test_write_bench_json_schema(self, tmp_path):
+        records = [BenchmarkRecord("a", 0.1, {"k": 1}), BenchmarkRecord("b", 0.2)]
+        path = write_bench_json(records, directory=tmp_path, revision="deadbee")
+        assert path.name == "BENCH_deadbee.json"
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-bench-v1"
+        assert payload["revision"] == "deadbee"
+        assert {"python", "numpy", "platform"} <= set(payload["environment"])
+        assert [bench["name"] for bench in payload["benchmarks"]] == ["a", "b"]
+        assert payload["benchmarks"][0]["extra_info"] == {"k": 1}
+
+    def test_write_bench_json_explicit_path(self, tmp_path):
+        target = tmp_path / "sub" / "custom.json"
+        path = write_bench_json([BenchmarkRecord("a", 0.1)], path=target, revision="r")
+        assert path == target and target.exists()
+
+    def test_current_revision_is_nonempty(self):
+        assert current_revision()
+
+    def test_environment_info_keys(self):
+        assert set(environment_info()) == {"python", "numpy", "platform"}
+
+    def test_format_records_tabulates(self):
+        table = format_records([BenchmarkRecord("kernel", 0.25, {"speedup": 3.0})])
+        assert "kernel" in table and "0.25" in table and "speedup=3" in table
+
+
+class TestMicroBenchmarks:
+    def test_ic_series_kernel_headline(self):
+        """The acceptance headline: batched kernel >= 5x the per-bin loop."""
+        record = bench_ic_series_kernel(n=50, timesteps=288, repeat=3)
+        assert record.extra_info["matches_loop_bitwise"] is True
+        assert record.extra_info["speedup_vs_loop"] >= 5.0
+        assert record.wall_seconds > 0
+
+    def test_ipf_series_benchmark_matches(self):
+        record = bench_ipf_series(bins=8, repeat=1)
+        assert record.extra_info["matches_loop_bitwise"] is True
+
+    def test_tomogravity_benchmark_matches(self):
+        record = bench_tomogravity_batch(bins=4, repeat=1)
+        assert record.extra_info["matches_loop_bitwise"] is True
+
+    def test_routing_benchmark_reports_sparsity(self):
+        record = bench_routing_matrix(repeat=1)
+        assert 0 < record.extra_info["nnz_density"] < 1
+
+    def test_run_benchmarks_quick_set(self):
+        records = run_benchmarks(quick=True, repeat=1)
+        names = [record.name for record in records]
+        assert names == [
+            "ic_series_kernel",
+            "routing_matrix",
+            "ipf_series",
+            "tomogravity_batch",
+        ]
+
+
+class TestBenchCLI:
+    def test_bench_quick_writes_file(self, tmp_path, capsys):
+        exit_code = main(
+            ["bench", "--quick", "--repeat", "1", "--output", str(tmp_path), "--rev", "test"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "ic_series_kernel" in out
+        payload = json.loads((tmp_path / "BENCH_test.json").read_text())
+        assert len(payload["benchmarks"]) == 4
+
+    def test_bench_explicit_json_path(self, tmp_path):
+        target = tmp_path / "snapshot.json"
+        exit_code = main(
+            ["bench", "--quick", "--repeat", "1", "--output", str(target), "--rev", "x"]
+        )
+        assert exit_code == 0
+        assert target.exists()
+
+
+class TestBenchUtilsSharedFormat:
+    def test_emit_records_into_shared_format(self, tmp_path, monkeypatch):
+        import importlib.util
+        import pathlib
+        import sys
+
+        bench_dir = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+        spec = importlib.util.spec_from_file_location(
+            "_bench_utils_under_test", bench_dir / "_bench_utils.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        spec.loader.exec_module(module)
+
+        class FakeStatsInner:
+            mean = 0.125
+
+        class FakeStats:
+            stats = FakeStatsInner()
+
+        class FakeBenchmark:
+            name = "test_fake_benchmark"
+            stats = FakeStats()
+
+            def __init__(self):
+                self.extra_info = {}
+
+        class FakeResult:
+            @staticmethod
+            def format_table():
+                return "quantity value"
+
+        benchmark = FakeBenchmark()
+        module.emit(benchmark, FakeResult(), dataset="geant", score=1.5)
+        assert benchmark.extra_info == {"dataset": "geant", "score": 1.5}
+        assert module._collected[-1].name == "test_fake_benchmark"
+        assert module._collected[-1].wall_seconds == pytest.approx(0.125)
+        assert module._collected[-1].extra_info == {"dataset": "geant", "score": 1.5}
+
+        target = tmp_path / "BENCH_adhoc.json"
+        monkeypatch.setenv("REPRO_BENCH_JSON", str(target))
+        module._flush_collected()
+        payload = json.loads(target.read_text())
+        assert payload["benchmarks"][-1]["name"] == "test_fake_benchmark"

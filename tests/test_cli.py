@@ -145,6 +145,27 @@ class TestSweep:
         assert code == 2
         assert "registered priors" in capsys.readouterr().err
 
+    def test_sweep_parallel_jobs_matches_serial(self, capsys):
+        args = ["sweep", "--priors", "stable_f", "gravity", "--datasets", "geant", *SMALL]
+        assert main(args) == 0
+        serial_output = capsys.readouterr().out
+        assert main([*args, "--jobs", "2"]) == 0
+        parallel_output = capsys.readouterr().out
+        assert parallel_output == serial_output
+
+    def test_sweep_help_documents_jobs_semantics(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--help"])
+        output = capsys.readouterr().out
+        assert "--jobs" in output
+        assert "deterministic" in output
+
+    def test_sweep_negative_jobs_exits_2(self, capsys):
+        code = main(["sweep", "--priors", "stable_f", "--datasets", "geant",
+                     "--jobs", "-3", *SMALL])
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err
+
 
 class TestList:
     def test_list_priors_names_all_registered(self, capsys):
@@ -163,3 +184,20 @@ class TestList:
         with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(["list", "widgets"])
         assert excinfo.value.code == 2
+
+    def test_list_shows_prior_metadata(self, capsys):
+        assert main(["list", "priors"]) == 0
+        output = capsys.readouterr().out
+        assert "week_mode=gap" in output
+        assert "side_information=f, P" in output
+
+    def test_list_mentions_parallel_sweep_discovery(self, capsys):
+        assert main(["list", "priors"]) == 0
+        assert "--jobs" in capsys.readouterr().out
+
+    def test_bench_subcommand_registered(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--help"])
+        output = capsys.readouterr().out
+        assert "--quick" in output
+        assert "BENCH_" in output

@@ -1,0 +1,82 @@
+"""Tests for the parallel grid sweep (ScenarioRunner.sweep with jobs > 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.scenarios import Scenario, ScenarioRunner
+from repro.scenarios.runner import _run_sweep_cell
+
+SMALL = {"bins_per_week": 36, "max_bins": 4}
+
+
+class TestRunSweepCell:
+    def test_success_returns_result(self):
+        scenario = Scenario(dataset="geant", prior="stable_f", **SMALL)
+        result, message = _run_sweep_cell(("gravity", scenario))
+        assert message is None
+        assert result.errors.shape[0] == 4
+
+    def test_failure_returns_message(self):
+        # The stable-f closed form is singular at f = 0.5, so this cell fails.
+        scenario = Scenario(
+            dataset="geant", prior="stable_f", measured_forward_fraction=0.5, **SMALL
+        )
+        result, message = _run_sweep_cell(("gravity", scenario))
+        assert result is None
+        assert "ValidationError" in message
+
+
+class TestParallelSweep:
+    @pytest.fixture(scope="class")
+    def serial_and_parallel(self):
+        kwargs = dict(
+            priors=("stable_f", "gravity"),
+            datasets=("geant",),
+            base=dict(SMALL),
+        )
+        serial = ScenarioRunner().sweep(jobs=1, **kwargs)
+        parallel = ScenarioRunner().sweep(jobs=2, **kwargs)
+        return serial, parallel
+
+    def test_parallel_matches_serial_bitwise(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        assert len(serial.results) == len(parallel.results) == 2
+        assert not serial.failures and not parallel.failures
+        for left, right in zip(serial.results, parallel.results):
+            assert left.scenario == right.scenario
+            assert np.array_equal(left.errors, right.errors)
+            assert np.array_equal(left.prior_errors, right.prior_errors)
+
+    def test_grid_order_is_preserved(self, serial_and_parallel):
+        _, parallel = serial_and_parallel
+        labels = [result.scenario.prior for result in parallel.results]
+        assert labels == ["stable_f", "gravity"]
+
+    def test_jobs_none_uses_cpu_count(self):
+        result = ScenarioRunner().sweep(
+            priors=("stable_f",),
+            datasets=("geant",),
+            base=dict(SMALL),
+            jobs=None,
+        )
+        assert len(result.results) == 1
+
+    def test_failures_are_collected_not_raised(self):
+        result = ScenarioRunner().sweep(
+            priors=("stable_f", "gravity"),
+            datasets=("geant",),
+            base=dict(SMALL),
+            measured_forward_fraction=0.5,
+            jobs=2,
+        )
+        # The stable-f cell dies on the singular f = 0.5; gravity survives.
+        assert len(result.results) == 1
+        assert len(result.failures) == 1
+        assert result.failures[0][0].prior == "stable_f"
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioRunner().sweep(priors=(), datasets=("geant",), jobs=2)

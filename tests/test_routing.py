@@ -86,13 +86,68 @@ class TestRoutingMatrix:
         routing = build_routing_matrix(make_line())
         single = routing.link_loads(np.ones(9))
         batch = routing.link_loads(np.ones((5, 9)))
+        stacked = routing.link_loads(np.ones((3, 5, 9)))
         assert single.shape == (routing.n_links,)
         assert batch.shape == (5, routing.n_links)
+        assert stacked.shape == (3, 5, routing.n_links)
+
+    def test_link_loads_rejects_bad_trailing_dimension(self):
+        routing = build_routing_matrix(make_line())
+        with pytest.raises(Exception):
+            routing.link_loads(np.ones(8))
+
+    def test_link_loads_sparse_matches_dense(self):
+        routing = build_routing_matrix(make_square())
+        rng = np.random.default_rng(2)
+        for shape in ((16,), (7, 16), (2, 3, 16)):
+            traffic = rng.random(shape)
+            dense = routing.link_loads(traffic)
+            via_sparse = routing.link_loads(traffic, use_sparse=True)
+            np.testing.assert_allclose(via_sparse, dense, rtol=1e-12, atol=0)
+            assert via_sparse.shape == dense.shape
 
     def test_rank_is_deficient(self):
         """The estimation problem must be under-constrained (rank < n^2)."""
         routing = build_routing_matrix(geant_topology())
         assert routing.rank() < routing.n_nodes**2
+
+    def test_sparse_and_dense_representations_agree(self):
+        routing = build_routing_matrix(geant_topology())
+        assert routing.sparse.shape == routing.matrix.shape
+        np.testing.assert_array_equal(routing.sparse.toarray(), routing.matrix)
+        # Far fewer non-zeros than entries: the sparse form is the point.
+        assert routing.sparse.nnz < 0.25 * routing.matrix.size
+
+    def test_dense_constructed_matrix_gains_sparse_view(self):
+        from repro.topology.routing import RoutingMatrix
+
+        reference = build_routing_matrix(make_line())
+        dense = RoutingMatrix(
+            matrix=reference.matrix.copy(), links=reference.links, nodes=reference.nodes
+        )
+        np.testing.assert_array_equal(dense.sparse.toarray(), reference.matrix)
+        np.testing.assert_array_equal(dense.column("a", "c"), reference.column("a", "c"))
+
+    def test_column_uses_cached_node_index(self):
+        routing = build_routing_matrix(make_line())
+        assert routing.node_index("b") == 1
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            routing.column("a", "nope")
+
+    def test_column_from_sparse_matches_dense_column(self):
+        routing = build_routing_matrix(make_square())
+        sparse_column = routing.column("a", "c")  # dense cache not materialised yet
+        dense_column = routing.matrix[:, routing.node_index("a") * 4 + routing.node_index("c")]
+        np.testing.assert_array_equal(sparse_column, dense_column)
+
+    def test_shape_mismatch_rejected(self):
+        from repro.errors import ShapeError
+        from repro.topology.routing import RoutingMatrix
+
+        with pytest.raises(ShapeError):
+            RoutingMatrix(matrix=np.zeros((2, 5)), links=("x", "y"), nodes=("a", "b"))
 
     def test_traffic_conservation_on_abilene(self):
         """Total bytes on first-hop links of an OD pair equal the OD volume."""
