@@ -44,15 +44,19 @@ from repro.topology.routing import build_routing_matrix
 
 __all__ = [
     "BenchmarkRecord",
+    "BenchComparison",
     "bench_ic_series_kernel",
     "bench_routing_matrix",
     "bench_ipf_series",
     "bench_tomogravity_batch",
+    "bench_streaming_synthesis",
     "run_benchmarks",
     "run_pytest_benchmarks",
     "current_revision",
     "environment_info",
     "write_bench_json",
+    "load_bench_json",
+    "compare_bench_files",
     "format_records",
 ]
 
@@ -124,6 +128,111 @@ def write_bench_json(
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def load_bench_json(path: str | Path) -> dict:
+    """Read a ``BENCH_<rev>.json`` trajectory file, validating its format."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if payload.get("format") != "repro-bench-v1":
+        raise ValueError(
+            f"{path} is not a repro-bench-v1 file (format={payload.get('format')!r})"
+        )
+    return payload
+
+
+@dataclass
+class BenchComparison:
+    """Per-benchmark wall-time diff between two BENCH trajectory snapshots.
+
+    ``rows`` holds ``(name, old_seconds, new_seconds, ratio)`` for every
+    benchmark present in both files (``ratio = new / old``; NaN when the old
+    time is zero), plus the names only one side has.  A benchmark regresses
+    when its ratio exceeds ``1 + threshold`` — the threshold absorbs the
+    run-to-run noise wall-clock micro-benchmarks inevitably carry.
+    """
+
+    old_revision: str
+    new_revision: str
+    threshold: float
+    rows: list[tuple[str, float, float, float]]
+    only_old: list[str]
+    only_new: list[str]
+
+    @property
+    def regressions(self) -> list[tuple[str, float, float, float]]:
+        """The rows whose slowdown exceeds the noise threshold."""
+        return [row for row in self.rows if row[3] > 1.0 + self.threshold]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def format_table(self) -> str:
+        """ASCII report: per-benchmark times, ratios and regression flags."""
+        header = (
+            f"bench compare: {self.old_revision} -> {self.new_revision} "
+            f"(regression threshold +{self.threshold * 100:.0f}%)"
+        )
+        rows = []
+        for name, old_seconds, new_seconds, ratio in self.rows:
+            flag = "REGRESSED" if ratio > 1.0 + self.threshold else (
+                "improved" if ratio < 1.0 - self.threshold else "ok"
+            )
+            rows.append([name, f"{old_seconds:.6f}", f"{new_seconds:.6f}", f"{ratio:.3f}", flag])
+        table = format_rows(["benchmark", "old s", "new s", "ratio", "status"], rows)
+        lines = [header, table]
+        if self.only_old:
+            lines.append("only in old snapshot: " + ", ".join(sorted(self.only_old)))
+        if self.only_new:
+            lines.append("only in new snapshot: " + ", ".join(sorted(self.only_new)))
+        if self.has_regressions:
+            worst = max(self.regressions, key=lambda row: row[3])
+            lines.append(
+                f"{len(self.regressions)} regression(s); worst: {worst[0]} at {worst[3]:.2f}x"
+            )
+        else:
+            lines.append("no regressions beyond the noise threshold")
+        return "\n".join(lines)
+
+
+def compare_bench_files(
+    old_path: str | Path, new_path: str | Path, *, threshold: float = 0.25
+) -> BenchComparison:
+    """Diff two ``BENCH_<rev>.json`` snapshots benchmark by benchmark.
+
+    Parameters
+    ----------
+    old_path, new_path:
+        The baseline and candidate trajectory files (any two revisions'
+        ``repro bench`` outputs).
+    threshold:
+        Relative slowdown treated as noise; a benchmark only counts as a
+        regression when ``new > old * (1 + threshold)``.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    old_payload = load_bench_json(old_path)
+    new_payload = load_bench_json(new_path)
+    old_times = {
+        bench["name"]: float(bench["wall_seconds"]) for bench in old_payload["benchmarks"]
+    }
+    new_times = {
+        bench["name"]: float(bench["wall_seconds"]) for bench in new_payload["benchmarks"]
+    }
+    rows = []
+    for name in sorted(set(old_times) & set(new_times)):
+        old_seconds, new_seconds = old_times[name], new_times[name]
+        ratio = new_seconds / old_seconds if old_seconds > 0 else float("nan")
+        rows.append((name, old_seconds, new_seconds, ratio))
+    return BenchComparison(
+        old_revision=str(old_payload.get("revision", "?")),
+        new_revision=str(new_payload.get("revision", "?")),
+        threshold=float(threshold),
+        rows=rows,
+        only_old=sorted(set(old_times) - set(new_times)),
+        only_new=sorted(set(new_times) - set(old_times)),
+    )
 
 
 def format_records(records) -> str:
@@ -285,6 +394,55 @@ def bench_tomogravity_batch(*, bins: int = 16, repeat: int = 3) -> BenchmarkReco
     )
 
 
+def bench_streaming_synthesis(*, bins: int = 288, repeat: int = 3) -> BenchmarkRecord:
+    """Chunked synthesis vs the materialised cube: wall time and peak memory.
+
+    Streams one geant-like week chunk by chunk (accumulating the marginals,
+    the streaming pipeline's typical first pass) and compares against
+    materialising the same week, recording both wall times and the
+    ``tracemalloc`` peak of each path — the number the streaming data plane
+    exists to bound.
+    """
+    import tracemalloc
+
+    from repro.synthesis.datasets import open_dataset_stream
+
+    stream_data = open_dataset_stream(
+        "geant", n_weeks=1, bins_per_week=max(bins, 2), chunk_bins=32
+    )
+
+    def streamed():
+        week_stream = stream_data.week_stream(0)
+        return week_stream.marginals()
+
+    def materialised():
+        return stream_data.week(0)
+
+    def peak_of(func) -> int:
+        tracemalloc.start()
+        func()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    stream_peak = peak_of(streamed)
+    cube_peak = peak_of(materialised)
+    stream_seconds = _best_of(streamed, repeat=repeat)
+    cube_seconds = _best_of(materialised, repeat=repeat)
+    return BenchmarkRecord(
+        name="streaming_synthesis",
+        wall_seconds=stream_seconds,
+        extra_info={
+            "bins": bins,
+            "chunk_bins": 32,
+            "cube_seconds": cube_seconds,
+            "stream_peak_bytes": stream_peak,
+            "cube_peak_bytes": cube_peak,
+            "peak_memory_ratio": cube_peak / max(stream_peak, 1),
+        },
+    )
+
+
 def run_pytest_benchmarks(*, benchmarks_dir: str | Path = "benchmarks") -> list[BenchmarkRecord]:
     """Run the pytest-benchmark suite and adapt its JSON into records.
 
@@ -361,6 +519,7 @@ def run_benchmarks(
         bench_routing_matrix(repeat=repeat),
         bench_ipf_series(repeat=repeat),
         bench_tomogravity_batch(repeat=repeat),
+        bench_streaming_synthesis(repeat=repeat),
     ]
     if not quick:
         records.extend(run_pytest_benchmarks(benchmarks_dir=benchmarks_dir))

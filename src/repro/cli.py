@@ -57,6 +57,18 @@ def _add_scenario_knobs(parser: argparse.ArgumentParser) -> None:
                         help="measurement-noise seed")
     parser.add_argument("--dataset-seed", type=int, default=None,
                         help="override the dataset generation seed")
+    _add_streaming_knobs(parser)
+
+
+def _add_streaming_knobs(parser: argparse.ArgumentParser) -> None:
+    """The chunked-execution flags shared by ``run``, ``estimate`` and ``sweep``."""
+    parser.add_argument("--stream", action="store_true",
+                        help="run through the chunked streaming pipeline: "
+                             "bounded peak memory (reported as peak RSS), "
+                             "bit-identical same-seed synthesis")
+    parser.add_argument("--chunk-bins", type=int, default=None,
+                        help="bins per streamed chunk (default: fit a small "
+                             "fixed memory budget)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="use paper-sized workloads (slower) where supported")
     run.add_argument("--bins-per-week", type=int, default=None,
                      help="override the number of time bins per week")
+    _add_streaming_knobs(run)
     run.set_defaults(handler=_cmd_run)
 
     estimate = subparsers.add_parser(
@@ -127,7 +140,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Time the batched kernels against their per-bin reference loops "
             "(and, without --quick, the full pytest-benchmark suite under "
             "benchmarks/), then write the records as a BENCH_<rev>.json "
-            "trajectory file for cross-revision comparison."
+            "trajectory file for cross-revision comparison.  With --compare "
+            "A.json B.json, diff two existing snapshots instead: "
+            "per-benchmark ratios are printed and the command exits non-zero "
+            "when any benchmark slowed down beyond the noise threshold."
         ),
     )
     bench.add_argument("--quick", action="store_true",
@@ -138,6 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="best-of repetitions per micro-benchmark")
     bench.add_argument("--rev", default=None,
                        help="revision label for the file name (default: git short rev)")
+    bench.add_argument("--compare", nargs=2, metavar=("OLD.json", "NEW.json"), default=None,
+                       help="diff two BENCH_<rev>.json snapshots instead of benchmarking; "
+                            "exits 1 if NEW regresses beyond the threshold")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       help="relative slowdown treated as noise by --compare "
+                            "(default 0.25 = 25%%)")
     bench.set_defaults(handler=_cmd_bench)
 
     lister = subparsers.add_parser(
@@ -169,6 +191,20 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
         kwargs["full_scale"] = True
     if args.bins_per_week is not None and "bins_per_week" in accepts:
         kwargs["bins_per_week"] = args.bins_per_week
+    if args.stream:
+        if "stream" not in accepts:
+            raise ReproError(
+                f"experiment {name!r} does not support --stream; streaming "
+                "experiments: "
+                + ", ".join(
+                    entry.name
+                    for entry in EXPERIMENTS_REGISTRY.entries()
+                    if "stream" in entry.metadata.get("accepts", ())
+                )
+            )
+        kwargs["stream"] = True
+    if args.chunk_bins is not None and "chunk_bins" in accepts:
+        kwargs["chunk_bins"] = args.chunk_bins
     started = time.perf_counter()
     result = entry.obj(**kwargs)
     elapsed = time.perf_counter() - started
@@ -200,6 +236,8 @@ def _scenario_from_args(args: argparse.Namespace, *, dataset: str, prior: str) -
         seed=args.seed,
         dataset_seed=args.dataset_seed,
         measured_forward_fraction=getattr(args, "forward_fraction", None),
+        stream=args.stream,
+        chunk_bins=args.chunk_bins,
     )
 
 
@@ -266,6 +304,20 @@ def _format_metadata_value(value) -> str:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import benchmarking
+
+    if args.compare is not None:
+        if args.threshold < 0:
+            print("error: --threshold must be >= 0", file=sys.stderr)
+            return USAGE_EXIT_CODE
+        try:
+            comparison = benchmarking.compare_bench_files(
+                args.compare[0], args.compare[1], threshold=args.threshold
+            )
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return USAGE_EXIT_CODE
+        print(comparison.format_table())
+        return 1 if comparison.has_regressions else 0
 
     records = benchmarking.run_benchmarks(quick=args.quick, repeat=args.repeat)
     if str(args.output).endswith(".json"):

@@ -126,12 +126,12 @@ def _bin_weights(values: np.ndarray) -> np.ndarray:
     return 1.0 / np.maximum(norms, _EPS)
 
 
-def _solve_activity(values: np.ndarray, f: float, preference: np.ndarray) -> np.ndarray:
-    """Least-squares activity per bin for fixed ``(f, P)``; clipped non-negative.
+def _activity_design_pinv(f: float, preference: np.ndarray) -> np.ndarray:
+    """Pseudo-inverse of the per-bin activity design matrix for fixed ``(f, P)``.
 
-    For a single bin the model is ``X = f A P^T + (1-f) P A^T`` which is linear
-    in ``A``.  Because the design matrix depends only on ``(f, P)``, its
-    pseudo-inverse is computed once and applied to every bin at once.
+    The design depends only on ``(f, P)``, so callers that sweep many bins —
+    the batch solver below and the chunk-wise streaming fit — compute it once
+    and apply it to every bin.
     """
     n = preference.shape[0]
     g = 1.0 - f
@@ -140,7 +140,18 @@ def _solve_activity(values: np.ndarray, f: float, preference: np.ndarray) -> np.
     rows_i, rows_j = np.divmod(np.arange(n * n), n)
     design[np.arange(n * n), rows_i] += f * preference[rows_j]
     design[np.arange(n * n), rows_j] += g * preference[rows_i]
-    pinv = np.linalg.pinv(design)
+    return np.linalg.pinv(design)
+
+
+def _solve_activity(values: np.ndarray, f: float, preference: np.ndarray) -> np.ndarray:
+    """Least-squares activity per bin for fixed ``(f, P)``; clipped non-negative.
+
+    For a single bin the model is ``X = f A P^T + (1-f) P A^T`` which is linear
+    in ``A``.  Because the design matrix depends only on ``(f, P)``, its
+    pseudo-inverse is computed once and applied to every bin at once.
+    """
+    n = preference.shape[0]
+    pinv = _activity_design_pinv(f, preference)
     flat = values.reshape(values.shape[0], n * n)
     activity = flat @ pinv.T
     return np.clip(activity, 0.0, None)
@@ -210,7 +221,16 @@ def _solve_forward_fraction(
 
 
 def _initial_parameters(values: np.ndarray, forward_fraction: float) -> tuple[np.ndarray, np.ndarray]:
-    """Heuristic initial preference and activity from the series marginals.
+    """Heuristic initial preference and activity from the series marginals."""
+    return _initial_parameters_from_marginals(
+        values.sum(axis=2), values.sum(axis=1), forward_fraction
+    )
+
+
+def _initial_parameters_from_marginals(
+    ingress: np.ndarray, egress: np.ndarray, forward_fraction: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Heuristic initial preference and activity from ``(T, n)`` marginals.
 
     Both starting points come from the stable-f closed forms (Eqs. 11-12)
     applied to the marginals with the caller's initial ``f``:
@@ -220,10 +240,9 @@ def _initial_parameters(values: np.ndarray, forward_fraction: float) -> tuple[np
     (roles of activity and preference exchanged, ``f -> 1-f``) that a
     marginal-agnostic initialisation can fall into.  Near ``f = 0.5``, where
     the closed forms are singular, the ingress/egress marginals themselves
-    are used instead.
+    are used instead.  Only the marginals are needed, which is what lets the
+    streaming fit initialise from a single accumulation pass.
     """
-    ingress = values.sum(axis=2)
-    egress = values.sum(axis=1)
     denominator = 2.0 * forward_fraction - 1.0
     if abs(denominator) > 0.05:
         activity = (forward_fraction * ingress - (1.0 - forward_fraction) * egress) / denominator
@@ -239,7 +258,7 @@ def _initial_parameters(values: np.ndarray, forward_fraction: float) -> tuple[np
         activity = ingress.copy()
         preference_raw = egress.mean(axis=0)
     if preference_raw.sum() <= 0.0:
-        preference_raw = np.full(values.shape[1], 1.0)
+        preference_raw = np.full(ingress.shape[1], 1.0)
     preference = preference_raw / preference_raw.sum()
     return preference, activity
 
@@ -282,7 +301,25 @@ def fit_stable_fp(
         the empirically supported regime in which forward (request) traffic
         does not exceed reverse (response) traffic.  Pass ``(0.0, 1.0)`` to
         lift the restriction.
+
+    A :class:`repro.streaming.ChunkStream` is also accepted; it is fitted in
+    bounded memory by :func:`repro.core.streaming.fit_stable_fp_streaming`
+    (which does not support ``refine``).
     """
+    from repro.streaming import ChunkStream
+
+    if isinstance(series, ChunkStream):
+        if refine:
+            raise ValidationError("refine=True is not supported when fitting a chunk stream")
+        from repro.core.streaming import fit_stable_fp_streaming
+
+        return fit_stable_fp_streaming(
+            series,
+            initial_forward_fraction=initial_forward_fraction,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            forward_bounds=forward_bounds,
+        )
     values, nodes, _ = _series_values(series)
     if values.shape[0] < 1:
         raise ValidationError("series must contain at least one time bin")

@@ -43,6 +43,8 @@ __all__ = [
     "StableFPPrior",
     "StableFPrior",
     "PriorContext",
+    "StreamingPriorContext",
+    "STREAMING_PRIOR_BUILDERS",
     "ic_design_matrix",
     "marginal_operators",
     "estimate_activity_from_marginals",
@@ -71,19 +73,28 @@ def ic_design_matrix(forward_fraction: float, preference) -> np.ndarray:
     return phi
 
 
-def marginal_operators(n_nodes: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def marginal_operators(n_nodes: int, *, as_sparse: bool = False):
     """The 0-1 matrices ``H``, ``G`` and the stacked ``Q`` of Section 6.2.
 
     ``H`` (``n x n^2``) sums a vectorised TM into ingress counts, ``G`` into
     egress counts, and ``Q = [H; G]`` maps it onto the observable marginals.
+    With ``as_sparse=True`` all three are ``scipy.sparse`` CSR matrices
+    (each operator has exactly one non-zero per column).
     """
     if n_nodes < 1:
         raise ValidationError("n_nodes must be >= 1")
     n = int(n_nodes)
-    h = np.zeros((n, n * n))
-    g = np.zeros((n, n * n))
     pairs = np.arange(n * n)
     origins, destinations = np.divmod(pairs, n)
+    if as_sparse:
+        from scipy import sparse
+
+        ones = np.ones(n * n)
+        h = sparse.csr_matrix((ones, (origins, pairs)), shape=(n, n * n))
+        g = sparse.csr_matrix((ones, (destinations, pairs)), shape=(n, n * n))
+        return h, g, sparse.vstack([h, g], format="csr")
+    h = np.zeros((n, n * n))
+    g = np.zeros((n, n * n))
     h[origins, pairs] = 1.0
     g[destinations, pairs] = 1.0
     return h, g, np.vstack([h, g])
@@ -398,4 +409,152 @@ def build_stable_f_prior(context: PriorContext) -> TrafficMatrixSeries:
         context.system.egress,
         nodes=context.target.nodes,
         bin_seconds=context.target.bin_seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# streaming prior builders (the bounded-memory Scenario API surface)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StreamingPriorContext:
+    """What a streaming prior builder may draw on — no materialised cubes.
+
+    Attributes
+    ----------
+    dataset:
+        The :class:`repro.synthesis.datasets.StreamingDataset` the scenario
+        runs on (week streams regenerate chunks on demand).
+    target_stream:
+        Re-iterable ground-truth stream of the (trimmed) target week; only
+        the ``measured`` prior reads it (its Section 6.1 thought experiment
+        fits the target week itself).
+    system:
+        The simulated measurements: link loads plus ingress/egress marginals
+        (``O(T (n_links + n))`` arrays — the only per-bin state kept).
+    calibration_week, target_week:
+        Week indices into ``dataset``.
+    measured_forward_fraction:
+        Optional externally measured ``f``.
+    """
+
+    dataset: object
+    target_stream: object
+    system: object
+    calibration_week: int
+    target_week: int
+    measured_forward_fraction: float | None = None
+
+    def marginal_chunk_stream(self, chunk_values) -> object:
+        """A prior stream computed chunk-wise from the system marginals.
+
+        ``chunk_values(ingress_chunk, egress_chunk)`` maps one chunk's noisy
+        marginals to that chunk's ``(T_chunk, n, n)`` prior values; chunk
+        boundaries mirror the target stream's so the estimation pass can zip
+        them.
+        """
+        from repro.streaming import FunctionChunkStream
+
+        target = self.target_stream
+        ingress, egress = self.system.ingress, self.system.egress
+
+        def factory(resolved_chunk: int):
+            for start in range(0, target.n_bins, resolved_chunk):
+                stop = min(start + resolved_chunk, target.n_bins)
+                yield start, chunk_values(ingress[start:stop], egress[start:stop])
+
+        return FunctionChunkStream(
+            factory,
+            n_bins=target.n_bins,
+            nodes=target.nodes,
+            bin_seconds=target.bin_seconds,
+            chunk_bins=target.chunk_bins,
+        )
+
+
+# Prior name (as registered in PRIORS) -> builder(StreamingPriorContext) ->
+# ChunkStream.  Kept separate from the registry because a streaming builder
+# must produce chunks, not a materialised series; the scenario runner falls
+# back with a clear error for priors that only exist in materialised form.
+STREAMING_PRIOR_BUILDERS: dict[str, object] = {}
+
+
+def _streaming_prior(name: str):
+    def register(builder):
+        STREAMING_PRIOR_BUILDERS[name] = builder
+        return builder
+
+    return register
+
+
+@_streaming_prior("gravity")
+def build_gravity_prior_stream(context: StreamingPriorContext):
+    """Gravity prior, one chunk of marginals at a time (matches the cube path)."""
+    return context.marginal_chunk_stream(gravity_series_values)
+
+
+@_streaming_prior("stable_f")
+def build_stable_f_prior_stream(context: StreamingPriorContext):
+    """Section 6.3 prior from per-bin closed forms, evaluated chunk-wise."""
+    forward = context.measured_forward_fraction
+    if forward is None:
+        truth = context.dataset.ground_truths[context.calibration_week]
+        forward = float(truth.forward_fraction)
+    prior = StableFPrior(float(forward))
+
+    def chunk_values(ingress, egress):
+        return prior.series(ingress, egress).values
+
+    return context.marginal_chunk_stream(chunk_values)
+
+
+@_streaming_prior("stable_fp")
+def build_stable_fp_prior_stream(context: StreamingPriorContext):
+    """Section 6.2 prior: streaming ALS fit of the calibration week, then Eq. 9.
+
+    The calibration week is fitted in bounded memory (chunk-wise ALS
+    reductions) and the target week's activity is recovered chunk by chunk
+    from the noisy marginals with one precomputed ``pinv(QΦ)``.
+    """
+    from repro.core.streaming import fit_stable_fp_streaming
+
+    calibration = context.dataset.week_stream(context.calibration_week)
+    fit = fit_stable_fp_streaming(calibration)
+    forward = float(fit.forward_fraction)
+    preference = normalized(np.clip(fit.preference, 0.0, None), "preference")
+    phi = ic_design_matrix(forward, preference)
+    _, _, q = marginal_operators(preference.shape[0])
+    pinv_t = np.linalg.pinv(q @ phi).T
+
+    def chunk_values(ingress, egress):
+        marginals = np.concatenate([ingress, egress], axis=1)
+        activity = np.clip(marginals @ pinv_t, 0.0, None)
+        return simplified_ic_series(forward, activity, preference)
+
+    return context.marginal_chunk_stream(chunk_values)
+
+
+@_streaming_prior("measured")
+def build_measured_prior_stream(context: StreamingPriorContext):
+    """Section 6.1 thought experiment: streaming fit of the target week itself."""
+    from repro.core.streaming import fit_stable_fp_streaming
+    from repro.streaming import FunctionChunkStream
+
+    fit = fit_stable_fp_streaming(context.target_stream)
+    forward = float(fit.forward_fraction)
+    preference = normalized(np.clip(fit.preference, 0.0, None), "preference")
+    activity = fit.activity
+    target = context.target_stream
+
+    def factory(resolved_chunk: int):
+        for start in range(0, target.n_bins, resolved_chunk):
+            stop = min(start + resolved_chunk, target.n_bins)
+            yield start, simplified_ic_series(forward, activity[start:stop], preference)
+
+    return FunctionChunkStream(
+        factory,
+        n_bins=target.n_bins,
+        nodes=target.nodes,
+        bin_seconds=target.bin_seconds,
+        chunk_bins=target.chunk_bins,
     )

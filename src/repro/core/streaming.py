@@ -1,0 +1,338 @@
+"""Chunk-wise accumulators: single-pass reductions over traffic streams.
+
+Everything the fitting and evaluation layers need from a ``(T, n, n)`` series
+reduces to a handful of per-bin or per-OD statistics — per-bin norms and
+marginals (``O(T n)``), per-OD totals and sums of squares (``O(n^2)``), and
+contractions of each bin with small parameter vectors.  This module computes
+those statistics chunk by chunk over the :mod:`repro.streaming` protocol, so
+
+* :class:`SeriesAccumulator` gives gravity baselines and summary statistics
+  in one pass,
+* :func:`streaming_rel_l2_temporal_error` / :func:`streaming_rel_l2_spatial_error`
+  evaluate the paper's error metrics between two streams without
+  materialising either, and
+* :func:`fit_stable_fp_streaming` runs the stable-fP alternating least
+  squares of :func:`repro.core.fitting.fit_stable_fp` with every subproblem
+  expressed as a streaming reduction (two passes per ALS iteration: one that
+  solves the per-bin activity and accumulates the preference/forward-fraction
+  normal equations, one that scores the updated parameters).
+
+Peak memory is ``O(chunk * n^2 + T * n)`` throughout — the ``(T, n)`` state
+(activity, marginals, weights) is kept, the ``n^2`` cubes never are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fitting import (
+    FitResult,
+    _activity_design_pinv,
+    _initial_parameters_from_marginals,
+)
+from repro.core.gravity import gravity_series_values
+from repro.core.ic_model import simplified_ic_series
+from repro.core.metrics import rel_l2_temporal_error
+from repro.errors import ValidationError
+from repro.streaming import as_chunk_stream, zip_chunks
+from repro._validation import require_probability
+
+__all__ = [
+    "SeriesAccumulator",
+    "streaming_rel_l2_temporal_error",
+    "streaming_rel_l2_spatial_error",
+    "streaming_gravity_errors",
+    "fit_stable_fp_streaming",
+]
+
+_EPS = 1e-12
+
+
+@dataclass
+class SeriesAccumulator:
+    """Single-pass per-bin and per-OD statistics of a traffic stream.
+
+    Feed chunks with :meth:`update` (or build from a source with
+    :meth:`from_source`); afterwards the accumulator answers the questions
+    the fitting/baseline code asks of a materialised cube: per-OD totals and
+    second moments, per-bin marginals, norms and totals.
+    """
+
+    n_nodes: int
+    n_bins: int = 0
+    od_sum: np.ndarray = field(default=None)
+    od_sumsq: np.ndarray = field(default=None)
+    _ingress: list = field(default_factory=list)
+    _egress: list = field(default_factory=list)
+    _norms: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.od_sum is None:
+            self.od_sum = np.zeros((self.n_nodes, self.n_nodes))
+        if self.od_sumsq is None:
+            self.od_sumsq = np.zeros((self.n_nodes, self.n_nodes))
+
+    @classmethod
+    def from_source(cls, source, *, chunk_bins: int | None = None) -> "SeriesAccumulator":
+        """Accumulate a cube or stream in one pass through the shared adapter."""
+        stream = as_chunk_stream(source, chunk_bins=chunk_bins)
+        accumulator = cls(n_nodes=stream.n_nodes)
+        for _, block in stream.chunks():
+            accumulator.update(block)
+        return accumulator
+
+    def update(self, block: np.ndarray) -> None:
+        """Fold one ``(T_chunk, n, n)`` block into the running statistics."""
+        if block.ndim != 3 or block.shape[1:] != (self.n_nodes, self.n_nodes):
+            raise ValidationError(
+                f"expected a (T, {self.n_nodes}, {self.n_nodes}) block, got {block.shape}"
+            )
+        self.n_bins += block.shape[0]
+        self.od_sum += block.sum(axis=0)
+        self.od_sumsq += (block**2).sum(axis=0)
+        self._ingress.append(block.sum(axis=2))
+        self._egress.append(block.sum(axis=1))
+        self._norms.append(np.sqrt((block**2).sum(axis=(1, 2))))
+
+    # -- derived statistics --------------------------------------------------
+
+    @property
+    def ingress(self) -> np.ndarray:
+        """Per-bin ingress marginals, shape ``(T, n)``."""
+        return np.concatenate(self._ingress) if self._ingress else np.zeros((0, self.n_nodes))
+
+    @property
+    def egress(self) -> np.ndarray:
+        """Per-bin egress marginals, shape ``(T, n)``."""
+        return np.concatenate(self._egress) if self._egress else np.zeros((0, self.n_nodes))
+
+    @property
+    def bin_norms(self) -> np.ndarray:
+        """Per-bin Frobenius norms ``||X(t)||``, shape ``(T,)``."""
+        return np.concatenate(self._norms) if self._norms else np.zeros(0)
+
+    @property
+    def bin_totals(self) -> np.ndarray:
+        """Per-bin total traffic ``X_{**}(t)``, shape ``(T,)``."""
+        return self.ingress.sum(axis=1)
+
+    def mean_matrix(self) -> np.ndarray:
+        """Time-averaged ``(n, n)`` traffic matrix."""
+        if self.n_bins == 0:
+            raise ValidationError("no chunks accumulated yet")
+        return self.od_sum / self.n_bins
+
+    def od_variance(self) -> np.ndarray:
+        """Per-OD variance across time (population), shape ``(n, n)``."""
+        if self.n_bins == 0:
+            raise ValidationError("no chunks accumulated yet")
+        mean = self.od_sum / self.n_bins
+        return np.maximum(self.od_sumsq / self.n_bins - mean**2, 0.0)
+
+
+def streaming_rel_l2_temporal_error(actual, estimate, *, chunk_bins: int | None = None) -> np.ndarray:
+    """Per-bin relative L2 temporal error (Eq. 6) between two streams.
+
+    Accepts any mix of cubes and streams; each bin's error involves only that
+    bin, so the chunked evaluation is bit-identical to the materialised one.
+    """
+    actual_stream = as_chunk_stream(actual, chunk_bins=chunk_bins)
+    estimate_stream = as_chunk_stream(estimate, chunk_bins=chunk_bins or actual_stream.chunk_bins)
+    parts = [
+        rel_l2_temporal_error(actual_block, estimate_block)
+        for _, (actual_block, estimate_block) in zip_chunks(actual_stream, estimate_stream)
+    ]
+    return np.concatenate(parts)
+
+
+def streaming_rel_l2_spatial_error(actual, estimate, *, chunk_bins: int | None = None) -> np.ndarray:
+    """Per-OD relative L2 spatial error between two streams, shape ``(n, n)``."""
+    actual_stream = as_chunk_stream(actual, chunk_bins=chunk_bins)
+    estimate_stream = as_chunk_stream(estimate, chunk_bins=chunk_bins or actual_stream.chunk_bins)
+    n = actual_stream.n_nodes
+    diff_sq = np.zeros((n, n))
+    norm_sq = np.zeros((n, n))
+    for _, (actual_block, estimate_block) in zip_chunks(actual_stream, estimate_stream):
+        diff_sq += ((actual_block - estimate_block) ** 2).sum(axis=0)
+        norm_sq += (actual_block**2).sum(axis=0)
+    diff = np.sqrt(diff_sq)
+    norm = np.sqrt(norm_sq)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(
+            norm > 0, diff / np.where(norm > 0, norm, 1.0), np.where(diff > 0, np.inf, 0.0)
+        )
+
+
+def streaming_gravity_errors(source, *, chunk_bins: int | None = None) -> np.ndarray:
+    """Per-bin error of the gravity reconstruction of a stream's own marginals.
+
+    The Section 5.1 baseline as a single-pass reduction: every bin's gravity
+    estimate depends only on that bin's marginals, so the streamed evaluation
+    matches :func:`repro.core.gravity.gravity_series` exactly.
+    """
+    stream = as_chunk_stream(source, chunk_bins=chunk_bins)
+    parts = []
+    for _, block in stream.chunks():
+        gravity = gravity_series_values(block.sum(axis=2), block.sum(axis=1))
+        parts.append(rel_l2_temporal_error(block, gravity))
+    return np.concatenate(parts)
+
+
+# ---------------------------------------------------------------------------
+# streaming stable-fP fit
+# ---------------------------------------------------------------------------
+
+def _solve_forward_fraction_reduced(
+    activity: np.ndarray,
+    preference: np.ndarray,
+    r: np.ndarray,
+    s: np.ndarray,
+    weights: np.ndarray,
+    bounds: tuple[float, float],
+) -> float:
+    """Closed-form optimal ``f`` from streamed contractions.
+
+    Algebraically identical to ``fitting._solve_forward_fraction`` with
+    ``U = A P^T - P A^T`` and ``V = P A^T``, but evaluated from the per-bin
+    contractions ``r_t = X_t A_t`` and ``s_t = X_t^T A_t`` instead of the
+    ``(T, n, n)`` outer-product cubes:
+
+    ``<U_t, X_t> = P . s_t - P . r_t``,
+    ``<U_t, V_t> = (A_t . P)^2 - |P|^2 |A_t|^2``,
+    ``<U_t, U_t> = 2 (|A_t|^2 |P|^2 - (A_t . P)^2)``.
+    """
+    w2 = weights**2
+    a_dot_p = activity @ preference
+    a_sq = (activity**2).sum(axis=1)
+    p_sq = float(preference @ preference)
+    u_dot_x = s @ preference - r @ preference
+    u_dot_v = a_dot_p**2 - p_sq * a_sq
+    u_dot_u = 2.0 * (a_sq * p_sq - a_dot_p**2)
+    numerator = float(np.sum(w2 * (u_dot_x - u_dot_v)))
+    denominator = float(np.sum(w2 * u_dot_u))
+    if denominator <= _EPS:
+        return float(np.clip(0.5, bounds[0], bounds[1]))
+    return float(np.clip(numerator / denominator, bounds[0], bounds[1]))
+
+
+def fit_stable_fp_streaming(
+    source,
+    *,
+    initial_forward_fraction: float = 0.25,
+    max_iterations: int = 60,
+    tolerance: float = 1e-6,
+    forward_bounds: tuple[float, float] = (0.0, 0.5),
+    chunk_bins: int | None = None,
+) -> FitResult:
+    """Fit the stable-fP IC model over a chunk stream in bounded memory.
+
+    Runs the same alternating least squares as
+    :func:`repro.core.fitting.fit_stable_fp` — activity per bin, preference
+    from its normal equations, closed-form ``f``, objective-based stopping —
+    but every subproblem is a streaming reduction: each ALS iteration makes
+    one pass that solves the per-bin activity (applying one cached design
+    pseudo-inverse) while accumulating the value contractions the preference
+    and ``f`` updates need, and one pass that scores the updated parameters.
+    The stream must therefore be re-iterable (synthesis streams regenerate
+    chunks from cached RNG state; array streams yield views).
+
+    Results agree with the in-memory fit to floating-point reduction order
+    (the accumulated sums are mathematically identical but associate
+    differently); exact bit-identity is not guaranteed.
+    """
+    stream = as_chunk_stream(source, chunk_bins=chunk_bins)
+    n = stream.n_nodes
+    f = require_probability(initial_forward_fraction, "initial_forward_fraction")
+    low, high = float(forward_bounds[0]), float(forward_bounds[1])
+    if not 0.0 <= low < high <= 1.0:
+        raise ValidationError(
+            f"forward_bounds must satisfy 0 <= low < high <= 1, got {forward_bounds}"
+        )
+    f = float(np.clip(f, low, high))
+
+    # Pass 0: per-bin weights and marginals -> initial (P, A).
+    base = SeriesAccumulator.from_source(stream)
+    weights = 1.0 / np.maximum(base.bin_norms, _EPS)
+    preference, activity = _initial_parameters_from_marginals(base.ingress, base.egress, f)
+    t_bins = stream.n_bins
+
+    history: list[float] = []
+    errors = np.zeros(t_bins)
+    converged = False
+    previous = np.inf
+    for _ in range(max_iterations):
+        # Pass 1: solve activity per bin with the current (f, P), and
+        # accumulate the contractions r_t = X_t A_t, s_t = X_t^T A_t that the
+        # preference and forward-fraction updates need.
+        pinv_t = _activity_design_pinv(f, preference).T
+        activity = np.empty((t_bins, n))
+        r = np.empty((t_bins, n))
+        s = np.empty((t_bins, n))
+        for t0, block in stream.chunks():
+            stop = t0 + block.shape[0]
+            flat = block.reshape(block.shape[0], n * n)
+            chunk_activity = np.clip(flat @ pinv_t, 0.0, None)
+            activity[t0:stop] = chunk_activity
+            r[t0:stop] = np.einsum("tij,tj->ti", block, chunk_activity)
+            s[t0:stop] = np.einsum("tij,ti->tj", block, chunk_activity)
+        w2 = weights**2
+        b = f * np.einsum("t,ti->i", w2, s) + (1.0 - f) * np.einsum("t,ti->i", w2, r)
+        preference = _solve_preference_from_normal(activity, weights, f, b)
+        f = _solve_forward_fraction_reduced(activity, preference, r, s, weights, (low, high))
+
+        # Pass 2: score the updated parameters (per-bin errors are exact).
+        for t0, block in stream.chunks():
+            stop = t0 + block.shape[0]
+            predicted = simplified_ic_series(f, activity[t0:stop], preference)
+            errors[t0:stop] = rel_l2_temporal_error(block, predicted)
+        objective = float(np.sum(errors))
+        history.append(objective)
+        if previous - objective < tolerance:
+            converged = True
+            break
+        previous = objective
+
+    if not history:
+        # The loop never ran (max_iterations=0): score the initial
+        # parameters, as the in-memory fit's post-loop recompute does.
+        for t0, block in stream.chunks():
+            stop = t0 + block.shape[0]
+            predicted = simplified_ic_series(f, activity[t0:stop], preference)
+            errors[t0:stop] = rel_l2_temporal_error(block, predicted)
+
+    return FitResult(
+        model="stable-fP",
+        forward_fraction=float(f),
+        preference=preference,
+        activity=activity,
+        errors=errors,
+        objective_history=history,
+        converged=converged,
+        nodes=stream.nodes,
+    )
+
+
+def _solve_preference_from_normal(
+    activity: np.ndarray, weights: np.ndarray, f: float, b: np.ndarray
+) -> np.ndarray:
+    """Preference update from the streamed right-hand side ``b``.
+
+    The normal matrix ``M`` depends only on the (materialised, ``O(T n)``)
+    activity series, so it is assembled exactly as the in-memory solver does;
+    only ``b`` — the part that touches the ``(T, n, n)`` values — comes from
+    the streaming contractions.
+    """
+    g = 1.0 - f
+    w2 = weights**2
+    norms = (activity**2).sum(axis=1)
+    n = activity.shape[1]
+    identity_scale = float(np.sum(w2 * norms)) * (f * f + g * g)
+    outer = np.einsum("t,ti,tj->ij", w2, activity, activity)
+    m = identity_scale * np.eye(n) + 2.0 * f * g * outer
+    preference = np.linalg.solve(m + _EPS * np.eye(n), b)
+    preference = np.clip(preference, 0.0, None)
+    if preference.sum() <= 0.0:
+        preference = np.full(n, 1.0 / n)
+    return preference / preference.sum()

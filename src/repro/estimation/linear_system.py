@@ -16,13 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import sparse
 
+from repro.core.priors import marginal_operators
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.errors import ShapeError, ValidationError
+from repro.streaming import as_chunk_stream
 from repro.topology.routing import RoutingMatrix, build_routing_matrix
 from repro.topology.topology import Topology
 
-__all__ = ["LinkLoadSystem", "simulate_link_loads"]
+__all__ = ["LinkLoadSystem", "simulate_link_loads", "simulate_link_loads_streaming"]
 
 
 @dataclass(frozen=True)
@@ -61,7 +64,7 @@ class LinkLoadSystem:
     def n_nodes(self) -> int:
         return self.routing.n_nodes
 
-    def augmented_system(self) -> tuple[np.ndarray, np.ndarray]:
+    def augmented_system(self, *, as_sparse: bool = False):
         """The stacked observation matrix and observations.
 
         Returns ``(B, Z)`` where ``B`` stacks the routing matrix on top of the
@@ -69,15 +72,19 @@ class LinkLoadSystem:
         ``Z`` stacks the corresponding observations (shape ``(T, n_links + 2n)``).
         Using the augmented system in the least-squares step is what lets the
         prior be corrected toward *all* available measurements.
+
+        With ``as_sparse=True`` the stacked operator is assembled as a
+        ``scipy.sparse`` CSR matrix straight from the routing matrix's sparse
+        form and the one-per-column marginal operators — the routing matrix
+        is never densified, which is what makes the augmented least squares
+        viable at large ``n`` (the dense operator grows as ``n^3`` while its
+        occupancy stays ``O(n^2 path_length)``).
         """
-        n = self.n_nodes
-        pairs = np.arange(n * n)
-        origins, destinations = np.divmod(pairs, n)
-        h = np.zeros((n, n * n))
-        g = np.zeros((n, n * n))
-        h[origins, pairs] = 1.0
-        g[destinations, pairs] = 1.0
-        b = np.vstack([self.routing.matrix, h, g])
+        h, g, _ = marginal_operators(self.n_nodes, as_sparse=as_sparse)
+        if as_sparse:
+            b = sparse.vstack([self.routing.sparse, h, g], format="csr")
+        else:
+            b = np.vstack([self.routing.matrix, h, g])
         z = np.concatenate([self.link_loads, self.ingress, self.egress], axis=1)
         return b, z
 
@@ -118,6 +125,20 @@ def simulate_link_loads(
     link_loads = vectors @ routing.matrix.T
     ingress = series.ingress.copy()
     egress = series.egress.copy()
+    link_loads, ingress, egress = _apply_measurement_noise(
+        link_loads, ingress, egress, noise_std, seed
+    )
+    return LinkLoadSystem(routing=routing, link_loads=link_loads, ingress=ingress, egress=egress)
+
+
+def _apply_measurement_noise(
+    link_loads: np.ndarray,
+    ingress: np.ndarray,
+    egress: np.ndarray,
+    noise_std: float,
+    seed: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Multiplicative SNMP noise on the three counter arrays (shared draw order)."""
     if noise_std > 0:
         rng = np.random.default_rng(seed)
         link_loads = link_loads * rng.normal(1.0, noise_std, size=link_loads.shape)
@@ -126,4 +147,46 @@ def simulate_link_loads(
         link_loads = np.clip(link_loads, 0.0, None)
         ingress = np.clip(ingress, 0.0, None)
         egress = np.clip(egress, 0.0, None)
+    return link_loads, ingress, egress
+
+
+def simulate_link_loads_streaming(
+    topology: Topology,
+    source,
+    *,
+    ecmp: bool = True,
+    noise_std: float = 0.0,
+    seed: int = 0,
+) -> LinkLoadSystem:
+    """Measurements for a chunked ground-truth stream, in bounded memory.
+
+    One pass over the ``(T_chunk, n, n)`` blocks assembles the link, ingress
+    and egress counter series — all ``O(T (n_links + n))``, never the
+    ``O(T n^2)`` traffic — then applies the same measurement-noise draws as
+    :func:`simulate_link_loads`.  For the same traffic and seed the resulting
+    system equals the materialised one (each bin's counters depend only on
+    that bin's matrix).
+    """
+    stream = as_chunk_stream(source)
+    if topology.nodes != stream.nodes:
+        raise ValidationError(
+            "topology and series must agree on node names and order; "
+            f"got {topology.nodes[:3]}... vs {stream.nodes[:3]}..."
+        )
+    if noise_std < 0:
+        raise ValidationError("noise_std must be non-negative")
+    routing = build_routing_matrix(topology, ecmp=ecmp)
+    t, n = stream.n_bins, stream.n_nodes
+    link_loads = np.empty((t, routing.n_links))
+    ingress = np.empty((t, n))
+    egress = np.empty((t, n))
+    dense_routing_t = routing.matrix.T
+    for t0, block in stream.chunks():
+        stop = t0 + block.shape[0]
+        link_loads[t0:stop] = block.reshape(block.shape[0], n * n) @ dense_routing_t
+        ingress[t0:stop] = block.sum(axis=2)
+        egress[t0:stop] = block.sum(axis=1)
+    link_loads, ingress, egress = _apply_measurement_noise(
+        link_loads, ingress, egress, noise_std, seed
+    )
     return LinkLoadSystem(routing=routing, link_loads=link_loads, ingress=ingress, egress=egress)

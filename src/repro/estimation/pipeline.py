@@ -25,9 +25,17 @@ from repro.registry import register_estimator
 __all__ = [
     "EstimationResult",
     "TMEstimator",
+    "SPARSE_SYSTEM_MIN_NODES",
     "make_tomogravity_estimator",
     "make_entropy_estimator",
 ]
+
+# Network size at which the auto mode switches the tomogravity refinement to
+# the sparse stacked operator.  The paper-scale topologies (22/23 PoPs) stay
+# on the historical dense path, whose numbers are locked by the bit-identity
+# hashes; beyond this the dense (n_links + 2n) x n^2 operator and its
+# weighted stacks dominate memory and the sparse path wins.
+SPARSE_SYSTEM_MIN_NODES = 48
 
 
 @dataclass
@@ -37,9 +45,12 @@ class EstimationResult:
     Attributes
     ----------
     estimate:
-        The estimated traffic-matrix series.
+        The estimated traffic-matrix series.  ``None`` for streamed runs
+        that chose not to materialise the estimate (the per-bin errors are
+        the deliverable there).
     prior:
-        The prior series the pipeline started from.
+        The prior series the pipeline started from (``None`` for streamed
+        runs, which never materialise the prior).
     errors:
         Relative L2 temporal error of the estimate per bin (only when ground
         truth was supplied, otherwise ``None``).
@@ -47,8 +58,8 @@ class EstimationResult:
         Error of the raw prior per bin, same caveat.
     """
 
-    estimate: TrafficMatrixSeries
-    prior: TrafficMatrixSeries
+    estimate: TrafficMatrixSeries | None
+    prior: TrafficMatrixSeries | None
     errors: np.ndarray | None = None
     prior_errors: np.ndarray | None = None
 
@@ -80,6 +91,13 @@ class TMEstimator:
         and egress counts are always available, so this defaults to true.
     ipf_iterations:
         Iteration cap for the proportional-fitting step.
+    use_sparse_system:
+        Whether the least-squares step runs against the ``scipy.sparse``
+        stacked operator instead of densifying the routing matrix.  ``None``
+        (the default) chooses automatically: sparse for tomogravity on
+        networks of :data:`SPARSE_SYSTEM_MIN_NODES` or more PoPs, dense
+        otherwise (the historical, bit-stable path for the paper-scale
+        topologies).  The entropy method always densifies.
     """
 
     def __init__(
@@ -88,12 +106,30 @@ class TMEstimator:
         method: str = "tomogravity",
         use_marginals_in_refinement: bool = True,
         ipf_iterations: int = 50,
+        use_sparse_system: bool | None = None,
     ):
         if method not in ("tomogravity", "entropy"):
             raise ValidationError(f"unknown refinement method {method!r}")
         self._method = method
         self._augment = bool(use_marginals_in_refinement)
         self._ipf_iterations = int(ipf_iterations)
+        self._use_sparse = use_sparse_system
+
+    def _resolve_sparse(self, system: LinkLoadSystem) -> bool:
+        """Whether this run uses the sparse stacked operator."""
+        if self._method != "tomogravity":
+            return False
+        if self._use_sparse is None:
+            return system.n_nodes >= SPARSE_SYSTEM_MIN_NODES
+        return bool(self._use_sparse)
+
+    def _observation_system(self, system: LinkLoadSystem):
+        """The ``(B, Z)`` pair the refinement step solves against."""
+        as_sparse = self._resolve_sparse(system)
+        if self._augment:
+            return system.augmented_system(as_sparse=as_sparse)
+        matrix = system.routing.sparse if as_sparse else system.routing.matrix
+        return matrix, system.link_loads
 
     def estimate(
         self,
@@ -123,10 +159,7 @@ class TMEstimator:
                 f"prior has {prior.n_nodes} nodes but the routing matrix has {system.n_nodes}"
             )
         n = system.n_nodes
-        if self._augment:
-            matrix, observations = system.augmented_system()
-        else:
-            matrix, observations = system.routing.matrix, system.link_loads
+        matrix, observations = self._observation_system(system)
 
         prior_vectors = prior.to_vectors()
         if self._method == "tomogravity":
@@ -148,6 +181,89 @@ class TMEstimator:
             prior_errors = rel_l2_temporal_error(ground_truth, prior)
         return EstimationResult(
             estimate=estimate_series, prior=prior, errors=errors, prior_errors=prior_errors
+        )
+
+    def estimate_stream(
+        self,
+        system: LinkLoadSystem,
+        prior_stream,
+        *,
+        ground_truth_stream=None,
+        collect_estimate: bool = False,
+    ) -> EstimationResult:
+        """Run the pipeline chunk by chunk over a streamed prior.
+
+        Every stage of the pipeline is per-bin (the batched tomogravity,
+        entropy and IPF drivers carry no state across bins), so feeding it
+        ``(T_chunk, n, n)`` blocks produces exactly the numbers of the
+        materialised :meth:`estimate` while holding only one chunk of
+        ``n^2``-sized data — the working-set drops from the refinement's
+        ``O(T n_obs n^2)`` stacks to ``O(chunk n_obs n^2)``.
+
+        Parameters
+        ----------
+        system:
+            The observed link loads, marginals and routing matrix.
+        prior_stream:
+            Prior traffic as a cube or :class:`repro.streaming.ChunkStream`
+            covering the measurement bins.
+        ground_truth_stream:
+            Optional ground truth (cube or stream, same chunking); enables
+            the per-bin error series on the result.
+        collect_estimate:
+            Materialise the estimated series on the result (costs the
+            ``O(T n^2)`` cube the streaming path otherwise avoids).
+        """
+        from repro.streaming import as_chunk_stream, zip_chunks
+
+        prior_stream = as_chunk_stream(prior_stream)
+        if prior_stream.n_bins != system.n_timesteps:
+            raise ValidationError(
+                f"prior has {prior_stream.n_bins} bins but the measurements have {system.n_timesteps}"
+            )
+        if prior_stream.n_nodes != system.n_nodes:
+            raise ValidationError(
+                f"prior has {prior_stream.n_nodes} nodes but the routing matrix has {system.n_nodes}"
+            )
+        n = system.n_nodes
+        t = system.n_timesteps
+        matrix, observations = self._observation_system(system)
+
+        streams = [prior_stream]
+        if ground_truth_stream is not None:
+            streams.append(
+                as_chunk_stream(ground_truth_stream, chunk_bins=prior_stream.chunk_bins)
+            )
+        errors = np.empty(t) if ground_truth_stream is not None else None
+        prior_errors = np.empty(t) if ground_truth_stream is not None else None
+        collected = np.empty((t, n, n)) if collect_estimate else None
+        for t0, blocks in zip_chunks(*streams):
+            prior_block = blocks[0]
+            stop = t0 + prior_block.shape[0]
+            prior_vectors = prior_block.reshape(prior_block.shape[0], n * n)
+            if self._method == "tomogravity":
+                refined = tomogravity_estimate(prior_vectors, matrix, observations[t0:stop])
+            else:
+                refined = entropy_estimate(prior_vectors, matrix, observations[t0:stop])
+            estimates = iterative_proportional_fitting_series(
+                refined.reshape(-1, n, n),
+                system.ingress[t0:stop],
+                system.egress[t0:stop],
+                max_iterations=self._ipf_iterations,
+            )
+            if collected is not None:
+                collected[t0:stop] = estimates
+            if errors is not None:
+                truth_block = blocks[1]
+                errors[t0:stop] = rel_l2_temporal_error(truth_block, estimates)
+                prior_errors[t0:stop] = rel_l2_temporal_error(truth_block, prior_block)
+        estimate_series = (
+            TrafficMatrixSeries(collected, prior_stream.nodes, bin_seconds=prior_stream.bin_seconds)
+            if collected is not None
+            else None
+        )
+        return EstimationResult(
+            estimate=estimate_series, prior=None, errors=errors, prior_errors=prior_errors
         )
 
     def compare_priors(

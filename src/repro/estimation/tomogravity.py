@@ -25,6 +25,7 @@ consistency with the marginals).
 from __future__ import annotations
 
 import numpy as np
+from scipy import sparse
 
 from repro.errors import EstimationError, ShapeError
 
@@ -35,7 +36,7 @@ _EPS = 1e-9
 
 def tomogravity_estimate(
     prior: np.ndarray,
-    observation_matrix: np.ndarray,
+    observation_matrix,
     observations: np.ndarray,
     *,
     weight_floor: float | None = None,
@@ -48,7 +49,11 @@ def tomogravity_estimate(
         Prior OD-flow vector, shape ``(n_od,)`` or a batch ``(T, n_od)``.
     observation_matrix:
         The matrix ``B`` of shape ``(n_obs, n_od)`` (routing matrix, possibly
-        augmented with ingress/egress rows).
+        augmented with ingress/egress rows).  Either a dense array or a
+        ``scipy.sparse`` matrix; the sparse form never materialises the
+        ``(T, n_obs, n_od)`` weighted stack, which is what makes the
+        refinement viable at large ``n`` (its floating-point summation order
+        differs slightly from the dense path's).
     observations:
         Observed values ``z``, shape ``(n_obs,)`` or ``(T, n_obs)`` matching
         the prior batch.
@@ -63,7 +68,8 @@ def tomogravity_estimate(
     """
     prior = np.asarray(prior, dtype=float)
     observations = np.asarray(observations, dtype=float)
-    matrix = np.asarray(observation_matrix, dtype=float)
+    is_sparse = sparse.issparse(observation_matrix)
+    matrix = observation_matrix.tocsr() if is_sparse else np.asarray(observation_matrix, dtype=float)
     single = prior.ndim == 1
     prior_batch = np.atleast_2d(prior)
     obs_batch = np.atleast_2d(observations)
@@ -78,9 +84,10 @@ def tomogravity_estimate(
             "observations must have shape (T, n_obs) matching the prior batch and matrix rows"
         )
 
+    refine = _refine_chunk_sparse if is_sparse else _refine_chunk
     estimates = np.empty_like(prior_batch)
     for start, stop in _chunks(prior_batch.shape[0], matrix.shape):
-        estimates[start:stop] = _refine_chunk(
+        estimates[start:stop] = refine(
             prior_batch[start:stop], matrix, obs_batch[start:stop], weight_floor
         )
     return estimates[0] if single else estimates
@@ -109,11 +116,7 @@ def _refine_chunk(
     slice performs exactly the operations of the former per-bin loop and the
     result is bit-identical to it.
     """
-    if weight_floor is None:
-        means = priors.mean(axis=1) if priors.shape[1] else np.zeros(priors.shape[0])
-        floors = np.maximum(means * 1e-3, _EPS)
-    else:
-        floors = np.full(priors.shape[0], float(weight_floor))
+    floors = _weight_floors(priors, weight_floor)
     weights = np.maximum(priors, floors[:, np.newaxis])
     weighted = matrix[np.newaxis, :, :] * weights[:, np.newaxis, :]  # B W per bin
     gram = weighted @ matrix.T  # B W B^T, stacked
@@ -125,5 +128,40 @@ def _refine_chunk(
     for t in range(priors.shape[0]):
         residual = observed[t] - matrix @ priors[t]
         correction = weighted[t].T @ gram_pinv[t] @ residual
+        estimates[t] = np.clip(priors[t] + correction, 0.0, None)
+    return estimates
+
+
+def _weight_floors(priors: np.ndarray, weight_floor: float | None) -> np.ndarray:
+    """Per-bin weight floors (shared by the dense and sparse refinements)."""
+    if weight_floor is not None:
+        return np.full(priors.shape[0], float(weight_floor))
+    means = priors.mean(axis=1) if priors.shape[1] else np.zeros(priors.shape[0])
+    return np.maximum(means * 1e-3, _EPS)
+
+
+def _refine_chunk_sparse(
+    priors: np.ndarray, matrix, observed: np.ndarray, weight_floor: float | None
+) -> np.ndarray:
+    """Refine a ``(T, n_od)`` chunk against a ``scipy.sparse`` operator.
+
+    The weighted operator ``B W`` is formed per bin by scaling the CSR data
+    in place (columns of ``B`` scaled by that bin's weights), so only the
+    ``O(nnz)`` sparse structure and the small ``(n_obs, n_obs)`` gram matrix
+    ever exist — the dense path's ``(T, n_obs, n_od)`` stack never does.
+    """
+    floors = _weight_floors(priors, weight_floor)
+    weights = np.maximum(priors, floors[:, np.newaxis])
+    weighted = matrix.copy()
+    estimates = np.empty_like(priors)
+    for t in range(priors.shape[0]):
+        weighted.data = matrix.data * weights[t][matrix.indices]  # B W for this bin
+        gram = (weighted @ matrix.T).toarray()
+        try:
+            gram_pinv = np.linalg.pinv(gram, rcond=1e-10)
+        except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+            raise EstimationError("failed to invert the weighted normal matrix") from exc
+        residual = observed[t] - matrix @ priors[t]
+        correction = weighted.T @ (gram_pinv @ residual)
         estimates[t] = np.clip(priors[t] + correction, 0.0, None)
     return estimates

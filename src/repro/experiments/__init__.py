@@ -29,6 +29,7 @@ from repro.experiments.fig13_estimation_stable_f import run_estimation_stable_f
 from repro.registry import EXPERIMENTS_REGISTRY
 
 _DATASET_KNOBS = ("dataset", "bins_per_week", "full_scale")
+_STREAMING_KNOBS = _DATASET_KNOBS + ("stream", "chunk_bins")
 
 # identifier -> (driver, description, CLI-settable keyword parameters)
 _EXPERIMENT_SPECS = {
@@ -41,9 +42,9 @@ _EXPERIMENT_SPECS = {
     "fig8": (run_preference_vs_egress, "Preference vs egress share (little correlation)", _DATASET_KNOBS),
     "fig9": (run_activity_timeseries, "Diurnal/weekly activity time series", _DATASET_KNOBS),
     "fig10": (run_routing_asymmetry, "Simplified-model degradation under routing asymmetry", ()),
-    "fig11": (run_estimation_measured, "TM estimation, all IC parameters measured (Section 6.1)", _DATASET_KNOBS),
-    "fig12": (run_estimation_stable_fp, "TM estimation, f and P from a previous week (Section 6.2)", _DATASET_KNOBS),
-    "fig13": (run_estimation_stable_f, "TM estimation, only f known (Section 6.3)", _DATASET_KNOBS),
+    "fig11": (run_estimation_measured, "TM estimation, all IC parameters measured (Section 6.1)", _STREAMING_KNOBS),
+    "fig12": (run_estimation_stable_fp, "TM estimation, f and P from a previous week (Section 6.2)", _STREAMING_KNOBS),
+    "fig13": (run_estimation_stable_f, "TM estimation, only f known (Section 6.3)", _STREAMING_KNOBS),
 }
 
 for _name, (_runner, _description, _accepts) in _EXPERIMENT_SPECS.items():

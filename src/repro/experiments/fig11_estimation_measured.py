@@ -27,6 +27,8 @@ def run_estimation_measured(
     week: int = 0,
     max_bins: int | None = 48,
     measurement_noise: float = 0.01,
+    stream: bool = False,
+    chunk_bins: int | None = None,
 ) -> EstimationComparison:
     """Run the Figure 11 experiment on one week of the chosen dataset.
 
@@ -43,6 +45,9 @@ def run_estimation_measured(
         (``None`` runs the whole week; the default keeps benchmarks quick).
     measurement_noise:
         Relative SNMP measurement noise.
+    stream, chunk_bins:
+        Execute through the chunked streaming pipeline (bounded peak memory;
+        bit-identical same-seed synthesis).
     """
     scenario = Scenario(
         dataset=dataset,
@@ -53,6 +58,8 @@ def run_estimation_measured(
         full_scale=full_scale,
         max_bins=max_bins,
         measurement_noise=measurement_noise,
+        stream=stream,
+        chunk_bins=chunk_bins,
         name=f"fig11/{dataset}",
     )
     return comparison_from_result(ScenarioRunner().run(scenario))

@@ -28,6 +28,8 @@ def run_estimation_stable_fp(
     target_week: int | None = None,
     max_bins: int | None = 48,
     measurement_noise: float = 0.01,
+    stream: bool = False,
+    chunk_bins: int | None = None,
 ) -> EstimationComparison:
     """Run the Figure 12 experiment: calibrate on one week, estimate another.
 
@@ -44,6 +46,9 @@ def run_estimation_stable_fp(
         setup).  Must differ from ``calibration_week``.
     max_bins, measurement_noise, bins_per_week, full_scale:
         As in the other estimation experiments.
+    stream, chunk_bins:
+        Execute through the chunked streaming pipeline (bounded peak memory;
+        bit-identical same-seed synthesis).
     """
     scenario = Scenario(
         dataset=dataset,
@@ -54,6 +59,8 @@ def run_estimation_stable_fp(
         full_scale=full_scale,
         max_bins=max_bins,
         measurement_noise=measurement_noise,
+        stream=stream,
+        chunk_bins=chunk_bins,
         name=f"fig12/{dataset}",
     )
     return comparison_from_result(ScenarioRunner().run(scenario))

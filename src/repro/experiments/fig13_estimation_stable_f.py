@@ -29,6 +29,8 @@ def run_estimation_stable_f(
     max_bins: int | None = 48,
     measurement_noise: float = 0.01,
     measured_forward_fraction: float | None = None,
+    stream: bool = False,
+    chunk_bins: int | None = None,
 ) -> EstimationComparison:
     """Run the Figure 13 experiment: only ``f`` is carried over from calibration.
 
@@ -50,6 +52,8 @@ def run_estimation_stable_f(
         max_bins=max_bins,
         measurement_noise=measurement_noise,
         measured_forward_fraction=measured_forward_fraction,
+        stream=stream,
+        chunk_bins=chunk_bins,
         name=f"fig13/{dataset}",
     )
     return comparison_from_result(ScenarioRunner().run(scenario))

@@ -21,6 +21,7 @@ datasets performs M synthesis runs, not N×M.
 from __future__ import annotations
 
 import os
+import sys
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -31,10 +32,14 @@ import numpy as np
 
 from repro._tables import format_rows
 from repro.core.metrics import percent_improvement, summarize_improvement
-from repro.core.priors import PriorContext
+from repro.core.priors import (
+    STREAMING_PRIOR_BUILDERS,
+    PriorContext,
+    StreamingPriorContext,
+)
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.errors import ValidationError
-from repro.estimation.linear_system import simulate_link_loads
+from repro.estimation.linear_system import simulate_link_loads, simulate_link_loads_streaming
 from repro.registry import (
     DATASETS,
     ESTIMATORS,
@@ -44,9 +49,23 @@ from repro.registry import (
     canonical_name,
 )
 from repro.scenarios.scenario import Scenario
-from repro.synthesis.datasets import load_dataset
+from repro.synthesis.datasets import load_dataset, open_dataset_stream
 
 __all__ = ["ScenarioResult", "ScenarioRunner", "SweepResult", "run_scenario", "sweep"]
+
+
+def _peak_rss_mb() -> float | None:
+    """Peak resident set size of this process in MiB (None when unavailable)."""
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, ValueError, OSError):  # pragma: no cover - non-POSIX
+        return None
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        peak /= 1024.0
+    return float(peak) / 1024.0
 
 
 @dataclass
@@ -61,7 +80,9 @@ class ScenarioResult:
         Display names of the scenario prior and the baseline prior
         (``baseline_label`` is ``None`` when no baseline was run).
     estimate:
-        The refined traffic-matrix estimate.
+        The refined traffic-matrix estimate (``None`` for streaming runs,
+        which deliberately never materialise the ``(T, n, n)`` estimate; the
+        per-bin error series are the deliverable).
     errors, prior_errors:
         Per-bin relative L2 error of the estimate and of the raw prior.
     baseline_errors, baseline_prior_errors:
@@ -70,13 +91,14 @@ class ScenarioResult:
         Per-bin percentage improvement over the baseline estimate.
     timing:
         Seconds spent per stage: ``dataset``, ``prior``, ``estimation`` and
-        ``total``.
+        ``total``, plus ``peak_rss_mb`` — the process's high-water resident
+        set size after the run (the number the streaming pipeline bounds).
     """
 
     scenario: Scenario
     prior_label: str
     baseline_label: str | None
-    estimate: TrafficMatrixSeries
+    estimate: TrafficMatrixSeries | None
     errors: np.ndarray
     prior_errors: np.ndarray
     baseline_errors: np.ndarray | None = None
@@ -118,6 +140,10 @@ class ScenarioResult:
                  f"{summary['p25']:.3g} .. {summary['p75']:.3g}"],
             ]
         rows.append(["runtime (s)", self.timing.get("total", float("nan"))])
+        if self.scenario.stream:
+            rows.append(["streamed chunk bins", self.timing.get("chunk_bins", "auto")])
+        if self.timing.get("peak_rss_mb") is not None:
+            rows.append(["peak RSS (MiB)", f"{self.timing['peak_rss_mb']:.1f}"])
         return format_rows(["quantity", "value"], rows)
 
 
@@ -189,21 +215,45 @@ class ScenarioRunner:
 
     # -- execution ----------------------------------------------------------
 
-    def run(self, scenario: Scenario) -> ScenarioResult:
-        """Execute one scenario and return its :class:`ScenarioResult`."""
+    @staticmethod
+    def _weeks_to_synthesize(scenario: Scenario, calibration_week: int, target_week: int) -> int:
+        return max(max(calibration_week, target_week) + 1, scenario.n_weeks or 0)
+
+    def run(self, scenario: Scenario, *, dataset=None) -> ScenarioResult:
+        """Execute one scenario and return its :class:`ScenarioResult`.
+
+        ``dataset`` optionally supplies a pre-synthesized
+        :class:`~repro.synthesis.datasets.SyntheticDataset` covering the
+        scenario's weeks (parallel sweeps synthesize each grid column once in
+        the parent and ship it to the workers); by default the shared
+        :func:`load_dataset` cache is used.
+        """
         scenario.validate()
+        if scenario.stream:
+            if dataset is not None:
+                raise ValidationError("streaming scenarios regenerate chunks; pass dataset=None")
+            return self._run_streaming(scenario)
         prior_entry = PRIORS.entry(scenario.prior)
         estimator_factory = ESTIMATORS.get(scenario.estimator)
         calibration_week, target_week = self.resolve_weeks(scenario)
 
         started = time.perf_counter()
-        data = load_dataset(
-            scenario.dataset,
-            n_weeks=max(max(calibration_week, target_week) + 1, scenario.n_weeks or 0),
-            bins_per_week=scenario.bins_per_week,
-            full_scale=scenario.full_scale,
-            seed=scenario.dataset_seed,
-        )
+        weeks_needed = self._weeks_to_synthesize(scenario, calibration_week, target_week)
+        if dataset is not None:
+            if dataset.n_weeks < weeks_needed:
+                raise ValidationError(
+                    f"pre-synthesized dataset has {dataset.n_weeks} weeks but the "
+                    f"scenario needs {weeks_needed}"
+                )
+            data = dataset
+        else:
+            data = load_dataset(
+                scenario.dataset,
+                n_weeks=weeks_needed,
+                bins_per_week=scenario.bins_per_week,
+                full_scale=scenario.full_scale,
+                seed=scenario.dataset_seed,
+            )
         topology = self._resolve_topology(scenario, data)
         dataset_seconds = time.perf_counter() - started
 
@@ -261,8 +311,120 @@ class ScenarioRunner:
                 "prior": prior_seconds,
                 "estimation": estimation_seconds,
                 "total": total_seconds,
+                "peak_rss_mb": _peak_rss_mb(),
             },
         )
+
+    def _run_streaming(self, scenario: Scenario) -> ScenarioResult:
+        """Execute a scenario through the chunked streaming pipeline.
+
+        Mirrors :meth:`run` stage by stage, but nothing ``(T, n, n)``-sized is
+        ever materialised: synthesis yields chunks from deterministic RNG
+        state, measurements are accumulated chunk-wise, priors are built as
+        chunk streams, and the estimator consumes them via
+        ``TMEstimator.estimate_stream``.  Peak memory is bounded by the chunk
+        size (plus the ``O(T (n_links + n))`` marginal series), not by the
+        series length — the regime month-scale full-mesh runs need.
+        """
+        prior_entry = PRIORS.entry(scenario.prior)
+        estimator_factory = ESTIMATORS.get(scenario.estimator)
+        calibration_week, target_week = self.resolve_weeks(scenario)
+        # Fail fast on missing streaming support — before paying the
+        # (potentially month-scale) synthesis and calibration passes.
+        scenario_builder = self._streaming_prior(prior_entry.name)
+        baseline_entry: RegistryEntry | None = None
+        baseline_builder = None
+        if self._baseline is not None and scenario.prior != canonical_name(self._baseline):
+            baseline_entry = PRIORS.entry(self._baseline)
+            baseline_builder = self._streaming_prior(baseline_entry.name)
+        estimator = estimator_factory()
+        if not hasattr(estimator, "estimate_stream"):
+            raise ValidationError(
+                f"estimator {scenario.estimator!r} does not support streaming "
+                "(it lacks an estimate_stream method); run without stream"
+            )
+
+        started = time.perf_counter()
+        data = open_dataset_stream(
+            scenario.dataset,
+            n_weeks=self._weeks_to_synthesize(scenario, calibration_week, target_week),
+            bins_per_week=scenario.bins_per_week,
+            full_scale=scenario.full_scale,
+            seed=scenario.dataset_seed,
+            chunk_bins=scenario.chunk_bins,
+        )
+        topology = self._resolve_topology(scenario, data)
+        target_stream = data.week_stream(target_week, max_bins=scenario.max_bins)
+        dataset_seconds = time.perf_counter() - started
+
+        system = simulate_link_loads_streaming(
+            topology, target_stream, noise_std=scenario.measurement_noise, seed=scenario.seed
+        )
+        context = StreamingPriorContext(
+            dataset=data,
+            target_stream=target_stream,
+            system=system,
+            calibration_week=calibration_week,
+            target_week=target_week,
+            measured_forward_fraction=scenario.measured_forward_fraction,
+        )
+
+        prior_started = time.perf_counter()
+        priors = {}
+        if baseline_builder is not None:
+            priors["baseline"] = baseline_builder(context)
+        priors["scenario"] = scenario_builder(context)
+        prior_seconds = time.perf_counter() - prior_started
+
+        estimation_started = time.perf_counter()
+        results = {
+            name: estimator.estimate_stream(
+                system, prior_stream, ground_truth_stream=target_stream
+            )
+            for name, prior_stream in priors.items()
+        }
+        estimation_seconds = time.perf_counter() - estimation_started
+
+        main = results["scenario"]
+        baseline = results.get("baseline")
+        improvement = None
+        if baseline is not None:
+            improvement = percent_improvement(baseline.errors, main.errors)
+        total_seconds = time.perf_counter() - started
+        return ScenarioResult(
+            scenario=scenario,
+            prior_label=prior_entry.metadata.get("display", prior_entry.name),
+            baseline_label=(
+                baseline_entry.metadata.get("display", baseline_entry.name)
+                if baseline_entry is not None
+                else None
+            ),
+            estimate=None,
+            errors=main.errors,
+            prior_errors=main.prior_errors,
+            baseline_errors=baseline.errors if baseline is not None else None,
+            baseline_prior_errors=baseline.prior_errors if baseline is not None else None,
+            improvement=improvement,
+            timing={
+                "dataset": dataset_seconds,
+                "prior": prior_seconds,
+                "estimation": estimation_seconds,
+                "total": total_seconds,
+                "chunk_bins": target_stream.chunk_bins,
+                "peak_rss_mb": _peak_rss_mb(),
+            },
+        )
+
+    @staticmethod
+    def _streaming_prior(name: str):
+        """The streaming builder registered for a prior, with a clear error."""
+        builder = STREAMING_PRIOR_BUILDERS.get(canonical_name(name))
+        if builder is None:
+            raise ValidationError(
+                f"prior {name!r} has no streaming builder; priors with streaming "
+                f"support: {sorted(STREAMING_PRIOR_BUILDERS)} (run without stream)"
+            )
+        return builder
 
     def run_batch(self, scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
         """Run several scenarios in order, sharing the dataset cache."""
@@ -292,10 +454,11 @@ class ScenarioRunner:
             ``None`` uses one worker per CPU.  Results are deterministic
             regardless of ``jobs``: every cell carries its own explicit
             ``seed``/``dataset_seed``, and cells are collected in grid order,
-            so scheduling cannot change the outcome.  Parallel workers do
-            not share the in-process dataset cache, so each worker pays its
-            own synthesis cost — the win comes from running independent
-            estimation pipelines on separate cores.
+            so scheduling cannot change the outcome.  Each dataset column is
+            synthesized **once in the parent** and shipped to the workers
+            (pickled into each worker process at startup), so the grid pays
+            one synthesis per column rather than one per (worker, column);
+            workers only run the independent estimation pipelines.
         overrides:
             Additional Scenario fields applied on top of ``base``.
         """
@@ -355,11 +518,49 @@ class ScenarioRunner:
         except Exception as exc:  # noqa: BLE001 - a cell failure should not kill the grid
             return None, f"{type(exc).__name__}: {exc}"
 
+    @staticmethod
+    def _dataset_key(cell: Scenario) -> tuple | None:
+        """The synthesis-cache key of a cell, or ``None`` when not shippable.
+
+        Streaming cells regenerate chunks in the worker (shipping a cube
+        would defeat the point), and cells whose week requirements could not
+        be resolved fall back to the worker's own ``load_dataset`` path.
+        """
+        if cell.stream or cell.n_weeks is None:
+            return None
+        return (cell.dataset, cell.n_weeks, cell.bins_per_week, cell.full_scale, cell.dataset_seed)
+
     def _sweep_parallel(self, cells: list[Scenario], jobs: int) -> list[tuple]:
-        """Run the grid cells in worker processes, preserving grid order."""
-        payloads = [(self._baseline, cell) for cell in cells]
+        """Run the grid cells in worker processes, preserving grid order.
+
+        Every distinct dataset column is synthesized once here in the parent
+        (through the shared :func:`load_dataset` cache) and handed to each
+        worker process at startup, so workers never re-synthesize — they
+        receive the arrays by pickle and spend their time on estimation.
+        """
+        datasets: dict[tuple, object] = {}
+        keys: list[tuple | None] = []
+        for cell in cells:
+            key = self._dataset_key(cell)
+            if key is not None and key not in datasets:
+                try:
+                    datasets[key] = load_dataset(
+                        cell.dataset,
+                        n_weeks=cell.n_weeks,
+                        bins_per_week=cell.bins_per_week,
+                        full_scale=cell.full_scale,
+                        seed=cell.dataset_seed,
+                    )
+                except Exception:  # noqa: BLE001 - the cell run will report it
+                    key = None
+            keys.append(key)
+        payloads = [(self._baseline, cell, key) for cell, key in zip(cells, keys)]
         try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(cells)),
+                initializer=_init_sweep_worker,
+                initargs=(datasets,),
+            ) as pool:
                 return list(pool.map(_run_sweep_cell, payloads))
         except (OSError, PermissionError, RuntimeError) as exc:
             warnings.warn(
@@ -371,15 +572,27 @@ class ScenarioRunner:
             return [self._run_cell_guarded(cell) for cell in cells]
 
 
+# Dataset columns the parent synthesized for this worker process, keyed by
+# the synthesis-cache tuple; populated once per worker by the pool
+# initializer so each cell's payload only needs to carry the key.
+_WORKER_DATASETS: dict[tuple, object] = {}
+
+
+def _init_sweep_worker(datasets: dict[tuple, object]) -> None:
+    _WORKER_DATASETS.clear()
+    _WORKER_DATASETS.update(datasets)
+
+
 def _run_sweep_cell(payload: tuple) -> tuple:
     """Execute one sweep cell; top-level so worker processes can pickle it.
 
     Returns ``(result, None)`` on success and ``(None, message)`` on failure,
     so one singular configuration cannot sink a whole batch.
     """
-    baseline, cell = payload
+    baseline, cell, dataset_key = payload
+    dataset = _WORKER_DATASETS.get(dataset_key) if dataset_key is not None else None
     try:
-        return ScenarioRunner(baseline_prior=baseline).run(cell), None
+        return ScenarioRunner(baseline_prior=baseline).run(cell, dataset=dataset), None
     except Exception as exc:  # noqa: BLE001 - a cell failure should not kill the grid
         return None, f"{type(exc).__name__}: {exc}"
 

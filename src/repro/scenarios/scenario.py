@@ -61,6 +61,15 @@ class Scenario:
         Optional override of the dataset factory's generation seed.
     measured_forward_fraction:
         Optional externally measured ``f`` for priors that use one.
+    stream:
+        Execute through the chunked streaming pipeline: the dataset is opened
+        as a :class:`repro.synthesis.datasets.StreamingDataset` and synthesis,
+        priors and estimation all run one ``(T_chunk, n, n)`` block at a
+        time, bounding peak memory by the chunk size instead of the series
+        length.  Same-seed synthesis is bit-identical to the in-memory path.
+    chunk_bins:
+        Chunk length (in bins) for streaming runs; ``None`` picks a size
+        whose block fits a small fixed budget.
     name:
         Optional human label; defaults to ``"<dataset>/<prior>"``.
     """
@@ -79,6 +88,8 @@ class Scenario:
     seed: int = 0
     dataset_seed: int | None = None
     measured_forward_fraction: float | None = None
+    stream: bool = False
+    chunk_bins: int | None = None
     name: str | None = None
 
     def __post_init__(self):
@@ -115,6 +126,8 @@ class Scenario:
             raise ValidationError("bins_per_week must be >= 2")
         if self.measurement_noise < 0:
             raise ValidationError("measurement_noise must be >= 0")
+        if self.chunk_bins is not None and self.chunk_bins < 1:
+            raise ValidationError("chunk_bins must be >= 1 (or None for the default)")
         return self
 
     def to_dict(self) -> dict:

@@ -16,27 +16,45 @@ stability property the paper verifies) but evolve their activity levels and
 contain fresh noise, so week-over-week experiments are meaningful.  The
 experiments default to a reduced number of bins per week to stay fast; pass
 ``full_scale=True`` for the paper-sized series.
+
+Two access paths share one specification table (and therefore one RNG draw
+order, so their numbers are bit-identical):
+
+* :func:`load_dataset` materialises a :class:`SyntheticDataset` holding the
+  whole multi-week cube (the historical path), while
+* :func:`open_dataset_stream` returns a :class:`StreamingDataset` whose weeks
+  are :class:`repro.streaming.ChunkStream` objects generated chunk by chunk
+  from deterministic RNG state — month-scale series in O(chunk) memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Callable, Iterator
 
 import numpy as np
 
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.errors import ValidationError
 from repro.registry import DATASETS, register_dataset
-from repro.synthesis.generator import GroundTruth, ICTMGenerator, SyntheticTMConfig
+from repro.streaming import ChunkStream, FunctionChunkStream, default_chunk_bins
+from repro.synthesis.generator import (
+    GenerationPlan,
+    GroundTruth,
+    ICTMGenerator,
+    SyntheticTMConfig,
+)
 from repro.topology.library import geant_topology, totem_topology
 from repro.topology.topology import Topology
 
 __all__ = [
     "SyntheticDataset",
+    "StreamingDataset",
     "make_geant_like_dataset",
     "make_totem_like_dataset",
     "load_dataset",
+    "open_dataset_stream",
 ]
 
 GEANT_BINS_PER_WEEK = 2016  # 5-minute bins
@@ -88,6 +106,135 @@ class SyntheticDataset:
         return series
 
 
+# ---------------------------------------------------------------------------
+# anomaly planning (shared by the cube and streaming paths)
+# ---------------------------------------------------------------------------
+
+def _plan_anomalies(
+    seed: int, n_weeks: int, bins_per_week: int, n_nodes: int, rate: float
+) -> list[list[tuple[int, int, int, float]]]:
+    """Pre-draw the anomaly events of every week, in the historical RNG order.
+
+    The public Totem dataset documents measurement anomalies; a small rate of
+    per-bin disturbances keeps the synthetic stand-in honest about them.  The
+    draws (bin, origin, destination, factor) happen week by week from one
+    generator seeded ``seed + 7919``, exactly as the former per-week
+    ``_inject_anomalies`` loop drew them, so applying the returned events in
+    order reproduces its values bit for bit.
+    """
+    if rate <= 0:
+        return [[] for _ in range(n_weeks)]
+    rng = np.random.default_rng(seed + 7919)
+    n_anomalies = int(rate * bins_per_week)
+    events: list[list[tuple[int, int, int, float]]] = []
+    for _ in range(n_weeks):
+        week_events = []
+        for _ in range(n_anomalies):
+            bin_index = int(rng.integers(0, bins_per_week))
+            i, j = int(rng.integers(0, n_nodes)), int(rng.integers(0, n_nodes))
+            factor = float(rng.choice((0.0, 3.0, 5.0)))
+            week_events.append((bin_index, i, j, factor))
+        events.append(week_events)
+    return events
+
+
+def _apply_anomalies(
+    block: np.ndarray, events: list[tuple[int, int, int, float]], start: int
+) -> np.ndarray:
+    """Apply the planned events that fall into ``block`` (bins ``start + k``)."""
+    stop = start + block.shape[0]
+    for bin_index, i, j, factor in events:
+        if start <= bin_index < stop:
+            block[bin_index - start, i, j] *= factor
+    return block
+
+
+# ---------------------------------------------------------------------------
+# shared generation core
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _DatasetSpec:
+    """Everything both access paths need to generate one named dataset."""
+
+    name: str
+    topology_factory: Callable[[], Topology]
+    bin_seconds: float
+    full_scale_bins: int
+    reduced_bins: int
+    default_seed: int
+    anomaly_rate: float
+    config_factory: Callable[[], SyntheticTMConfig]
+
+
+def _geant_config() -> SyntheticTMConfig:
+    return SyntheticTMConfig(
+        forward_fraction=0.22,
+        mean_activity=2e7,
+        spatial_bias_sigma=0.4,
+        noise_sigma=0.28,
+        f_jitter_sigma=0.06,
+        f_responder_sigma=0.08,
+    )
+
+
+def _totem_config() -> SyntheticTMConfig:
+    return SyntheticTMConfig(
+        forward_fraction=0.20,
+        mean_activity=5e7,
+        spatial_bias_sigma=0.45,
+        noise_sigma=0.30,
+        f_jitter_sigma=0.08,
+        f_responder_sigma=0.10,
+    )
+
+
+_DATASET_SPECS: dict[str, _DatasetSpec] = {
+    "geant": _DatasetSpec(
+        name="geant-like",
+        topology_factory=geant_topology,
+        bin_seconds=300.0,
+        full_scale_bins=GEANT_BINS_PER_WEEK,
+        reduced_bins=288,
+        default_seed=11,
+        anomaly_rate=0.0,
+        config_factory=_geant_config,
+    ),
+    "totem": _DatasetSpec(
+        name="totem-like",
+        topology_factory=totem_topology,
+        bin_seconds=900.0,
+        full_scale_bins=TOTEM_BINS_PER_WEEK,
+        reduced_bins=96,
+        default_seed=23,
+        anomaly_rate=0.02,
+        config_factory=_totem_config,
+    ),
+}
+
+
+def _validate_scale(n_weeks: int, bins_per_week: int) -> None:
+    if n_weeks < 1:
+        raise ValidationError("n_weeks must be >= 1")
+    if bins_per_week < 2:
+        raise ValidationError("bins_per_week must be >= 2")
+
+
+def _week_truths(plan: GenerationPlan, forward_fraction: float, bins_per_week: int) -> list[GroundTruth]:
+    """Per-week ground truths sharing the plan's spatial parameters."""
+    truths = []
+    for start in range(0, plan.n_bins, bins_per_week):
+        truths.append(
+            GroundTruth(
+                forward_fraction=forward_fraction,
+                forward_fraction_matrix=plan.forward_fraction_matrix,
+                preference=plan.preference,
+                activity=plan.activity[start : start + bins_per_week],
+            )
+        )
+    return truths
+
+
 def _make_dataset(
     name: str,
     topology: Topology,
@@ -99,10 +246,7 @@ def _make_dataset(
     seed: int,
     anomaly_rate: float = 0.0,
 ) -> SyntheticDataset:
-    if n_weeks < 1:
-        raise ValidationError("n_weeks must be >= 1")
-    if bins_per_week < 2:
-        raise ValidationError("bins_per_week must be >= 2")
+    _validate_scale(n_weeks, bins_per_week)
     # One generation run covers all weeks, so the spatial parameters (f and
     # preference) are exactly shared across weeks — the stability property the
     # paper verifies — while activity noise is fresh in every bin and the
@@ -111,15 +255,14 @@ def _make_dataset(
     full_series, full_truth = generator.generate(
         n_weeks * bins_per_week, bin_seconds=bin_seconds, start_seconds=0.0
     )
-    rng = np.random.default_rng(seed + 7919)
+    anomalies = _plan_anomalies(seed, n_weeks, bins_per_week, len(topology.nodes), anomaly_rate)
     weeks: list[TrafficMatrixSeries] = []
     truths: list[GroundTruth] = []
     for week_index in range(n_weeks):
         start = week_index * bins_per_week
         stop = start + bins_per_week
         values = np.array(full_series.values[start:stop], copy=True)
-        if anomaly_rate > 0:
-            values = _inject_anomalies(values, rng, anomaly_rate)
+        values = _apply_anomalies(values, anomalies[week_index], 0)
         weeks.append(TrafficMatrixSeries(values, topology.nodes, bin_seconds=bin_seconds))
         truths.append(
             GroundTruth(
@@ -138,26 +281,10 @@ def _make_dataset(
     )
 
 
-def _inject_anomalies(values: np.ndarray, rng: np.random.Generator, rate: float) -> np.ndarray:
-    """Inject short multiplicative spikes/drops on random OD pairs.
-
-    The public Totem dataset documents measurement anomalies; a small rate of
-    per-bin disturbances keeps the synthetic stand-in honest about them.
-    """
-    t, n, _ = values.shape
-    n_anomalies = int(rate * t)
-    for _ in range(n_anomalies):
-        bin_index = int(rng.integers(0, t))
-        i, j = int(rng.integers(0, n)), int(rng.integers(0, n))
-        factor = float(rng.choice((0.0, 3.0, 5.0)))
-        values[bin_index, i, j] *= factor
-    return values
-
-
 @register_dataset(
     "geant",
     description="Geant-like D1 stand-in: 22 PoPs, 5-minute bins, 2016 bins/week at full scale",
-    metadata={"calibration_gap": 1, "n_nodes": 22, "bin_seconds": 300.0},
+    metadata={"calibration_gap": 1, "n_nodes": 22, "bin_seconds": 300.0, "streaming": True},
 )
 def make_geant_like_dataset(
     n_weeks: int = 3,
@@ -184,32 +311,25 @@ def make_geant_like_dataset(
     config:
         Optional override of the generation parameters.
     """
+    spec = _DATASET_SPECS["geant"]
     if bins_per_week is None:
-        bins_per_week = GEANT_BINS_PER_WEEK if full_scale else 288
-    topology = geant_topology()
-    config = config or SyntheticTMConfig(
-        forward_fraction=0.22,
-        mean_activity=2e7,
-        spatial_bias_sigma=0.4,
-        noise_sigma=0.28,
-        f_jitter_sigma=0.06,
-        f_responder_sigma=0.08,
-    )
+        bins_per_week = spec.full_scale_bins if full_scale else spec.reduced_bins
     return _make_dataset(
-        "geant-like",
-        topology,
+        spec.name,
+        spec.topology_factory(),
         n_weeks=n_weeks,
         bins_per_week=bins_per_week,
-        bin_seconds=300.0,
-        config=config,
+        bin_seconds=spec.bin_seconds,
+        config=config or spec.config_factory(),
         seed=seed,
+        anomaly_rate=spec.anomaly_rate,
     )
 
 
 @register_dataset(
     "totem",
     description="Totem-like D2 stand-in: 23 PoPs, 15-minute bins, with injected anomalies",
-    metadata={"calibration_gap": 2, "n_nodes": 23, "bin_seconds": 900.0},
+    metadata={"calibration_gap": 2, "n_nodes": 23, "bin_seconds": 900.0, "streaming": True},
 )
 def make_totem_like_dataset(
     n_weeks: int = 7,
@@ -226,26 +346,18 @@ def make_totem_like_dataset(
     anomalies is injected, mirroring the documented artefacts in the public
     Totem data.
     """
+    spec = _DATASET_SPECS["totem"]
     if bins_per_week is None:
-        bins_per_week = TOTEM_BINS_PER_WEEK if full_scale else 96
-    topology = totem_topology()
-    config = config or SyntheticTMConfig(
-        forward_fraction=0.20,
-        mean_activity=5e7,
-        spatial_bias_sigma=0.45,
-        noise_sigma=0.30,
-        f_jitter_sigma=0.08,
-        f_responder_sigma=0.10,
-    )
+        bins_per_week = spec.full_scale_bins if full_scale else spec.reduced_bins
     return _make_dataset(
-        "totem-like",
-        topology,
+        spec.name,
+        spec.topology_factory(),
         n_weeks=n_weeks,
         bins_per_week=bins_per_week,
-        bin_seconds=900.0,
-        config=config,
+        bin_seconds=spec.bin_seconds,
+        config=config or spec.config_factory(),
         seed=seed,
-        anomaly_rate=0.02,
+        anomaly_rate=spec.anomaly_rate,
     )
 
 
@@ -277,3 +389,213 @@ def load_dataset(
     if seed is not None:
         kwargs["seed"] = seed
     return factory(n_weeks, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# the streaming access path
+# ---------------------------------------------------------------------------
+
+class StreamingDataset:
+    """A multi-week dataset whose traffic is generated chunk by chunk.
+
+    Shares the exact RNG draw order of the materialised
+    :class:`SyntheticDataset` (same seed ⇒ bit-identical values), but holds
+    only the ``O(n^2)`` spatial parameters and the ``O(T n)`` activity series
+    in memory; every ``(T_chunk, n, n)`` traffic block is regenerated on
+    demand from cached noise-stream state.  Week streams are re-iterable, so
+    multi-pass consumers (ALS fitting, prior + estimation passes) work
+    without ever materialising a week.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        topology: Topology,
+        generator: ICTMGenerator,
+        plan: GenerationPlan,
+        anomalies: list[list[tuple[int, int, int, float]]],
+        n_weeks: int,
+        bins_per_week: int,
+        chunk_bins: int | None = None,
+    ):
+        self.name = name
+        self.topology = topology
+        self._generator = generator
+        self._plan = plan
+        self._anomalies = anomalies
+        self._n_weeks = int(n_weeks)
+        self._bins_per_week = int(bins_per_week)
+        self._chunk_bins = (
+            default_chunk_bins(len(topology.nodes)) if chunk_bins is None else int(chunk_bins)
+        )
+        self.ground_truths = _week_truths(
+            plan, generator.config.forward_fraction, bins_per_week
+        )
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return self.topology.nodes
+
+    @property
+    def n_weeks(self) -> int:
+        return self._n_weeks
+
+    @property
+    def bins_per_week(self) -> int:
+        return self._bins_per_week
+
+    @property
+    def bin_seconds(self) -> float:
+        return self._plan.bin_seconds
+
+    @property
+    def n_bins(self) -> int:
+        return self._plan.n_bins
+
+    @property
+    def chunk_bins(self) -> int:
+        return self._chunk_bins
+
+    def _check_week(self, index: int) -> int:
+        index = int(index)
+        if not 0 <= index < self._n_weeks:
+            raise ValidationError(
+                f"week index {index} out of range for {self._n_weeks} generated weeks"
+            )
+        return index
+
+    def week_stream(
+        self,
+        index: int,
+        *,
+        chunk_bins: int | None = None,
+        max_bins: int | None = None,
+    ) -> ChunkStream:
+        """A re-iterable chunk stream over week ``index`` (optionally trimmed).
+
+        ``max_bins`` trims the stream to its first bins, mirroring how the
+        scenario runner caps the bins pushed through the estimation pipeline.
+        """
+        index = self._check_week(index)
+        start = index * self._bins_per_week
+        n_bins = self._bins_per_week
+        if max_bins is not None:
+            if max_bins < 1:
+                raise ValidationError("max_bins must be >= 1")
+            n_bins = min(n_bins, int(max_bins))
+        stop = start + n_bins
+        events = self._anomalies[index]
+        generator, plan = self._generator, self._plan
+
+        def factory(resolved_chunk: int) -> Iterator[tuple[int, np.ndarray]]:
+            for t0, block in generator.iter_chunks(
+                plan, chunk_bins=resolved_chunk, start_bin=start, stop_bin=stop
+            ):
+                yield t0, _apply_anomalies(block, events, t0)
+
+        return FunctionChunkStream(
+            factory,
+            n_bins=n_bins,
+            nodes=self.topology.nodes,
+            bin_seconds=self._plan.bin_seconds,
+            chunk_bins=self._chunk_bins if chunk_bins is None else chunk_bins,
+        )
+
+    def week(self, index: int) -> TrafficMatrixSeries:
+        """Week ``index`` materialised (compatibility with the cube path)."""
+        return self.week_stream(index).materialize()
+
+    def full_stream(self, *, chunk_bins: int | None = None) -> ChunkStream:
+        """All weeks as one continuous chunk stream."""
+        generator, plan = self._generator, self._plan
+        bins_per_week = self._bins_per_week
+        anomalies = self._anomalies
+
+        def factory(resolved_chunk: int) -> Iterator[tuple[int, np.ndarray]]:
+            for t0, block in generator.iter_chunks(plan, chunk_bins=resolved_chunk):
+                # A chunk may straddle week boundaries; apply each week's
+                # events against its own week-relative bin offsets.
+                first_week = t0 // bins_per_week
+                last_week = (t0 + block.shape[0] - 1) // bins_per_week
+                for week_index in range(first_week, last_week + 1):
+                    week_start = week_index * bins_per_week
+                    _apply_anomalies(
+                        block[max(week_start - t0, 0) :],
+                        anomalies[week_index],
+                        max(t0 - week_start, 0),
+                    )
+                yield t0, block
+
+        return FunctionChunkStream(
+            factory,
+            n_bins=plan.n_bins,
+            nodes=self.topology.nodes,
+            bin_seconds=plan.bin_seconds,
+            chunk_bins=self._chunk_bins if chunk_bins is None else chunk_bins,
+        )
+
+
+@lru_cache(maxsize=8)
+def _open_stream_core(
+    name: str,
+    n_weeks: int,
+    bins_per_week: int,
+    seed: int,
+    config: SyntheticTMConfig | None,
+):
+    """Build (and memoise) the shared generation state behind a stream."""
+    spec = _DATASET_SPECS[name]
+    topology = spec.topology_factory()
+    generator = ICTMGenerator(topology.nodes, config or spec.config_factory(), seed=seed)
+    plan = generator.plan(
+        n_weeks * bins_per_week, bin_seconds=spec.bin_seconds, start_seconds=0.0
+    )
+    anomalies = _plan_anomalies(
+        seed, n_weeks, bins_per_week, len(topology.nodes), spec.anomaly_rate
+    )
+    return topology, generator, plan, anomalies
+
+
+def open_dataset_stream(
+    name: str,
+    *,
+    n_weeks: int,
+    bins_per_week: int | None = None,
+    full_scale: bool = False,
+    seed: int | None = None,
+    chunk_bins: int | None = None,
+    config: SyntheticTMConfig | None = None,
+) -> StreamingDataset:
+    """Open a registered dataset as a bounded-memory :class:`StreamingDataset`.
+
+    Accepts the same scale knobs as :func:`load_dataset` and produces
+    bit-identical traffic for the same seed; only datasets whose registry
+    entry carries ``streaming`` metadata (the built-in ``geant`` and
+    ``totem``) can stream, because streaming regenerates chunks from the
+    shared generation specs rather than from an arbitrary factory.
+    """
+    entry = DATASETS.entry(name)  # canonicalises and reports valid choices
+    if entry.name not in _DATASET_SPECS:
+        raise ValidationError(
+            f"dataset {name!r} has no streaming factory; datasets with streaming "
+            f"support: {sorted(_DATASET_SPECS)} (run without --stream instead)"
+        )
+    spec = _DATASET_SPECS[entry.name]
+    _validate_scale(n_weeks, 2 if bins_per_week is None else bins_per_week)
+    if bins_per_week is None:
+        bins_per_week = spec.full_scale_bins if full_scale else spec.reduced_bins
+    resolved_seed = spec.default_seed if seed is None else int(seed)
+    topology, generator, plan, anomalies = _open_stream_core(
+        entry.name, int(n_weeks), int(bins_per_week), resolved_seed, config
+    )
+    return StreamingDataset(
+        name=spec.name,
+        topology=topology,
+        generator=generator,
+        plan=plan,
+        anomalies=anomalies,
+        n_weeks=n_weeks,
+        bins_per_week=bins_per_week,
+        chunk_bins=chunk_bins,
+    )

@@ -19,18 +19,20 @@ ablation benchmarks.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
 from repro._validation import normalized, require_probability
-from repro.core.ic_model import general_ic_matrix
+from repro.core.ic_model import general_ic_series
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.errors import ValidationError
 from repro.synthesis.activity import ActivityModel, DiurnalProfile
 from repro.synthesis.preference import lognormal_preferences
 
-__all__ = ["SyntheticTMConfig", "ICTMGenerator", "GravityTMGenerator"]
+__all__ = ["SyntheticTMConfig", "ICTMGenerator", "GenerationPlan", "GravityTMGenerator"]
 
 
 @dataclass(frozen=True)
@@ -103,6 +105,83 @@ class GroundTruth:
     spatial_bias: np.ndarray | None = None
 
 
+@dataclass
+class GenerationPlan:
+    """Everything needed to (re)generate any chunk of a planned series.
+
+    A plan materialises only the *small* state of a generation run — the
+    spatial parameters (``O(n^2)``) and the activity series (``O(T n)``) —
+    plus the measurement-noise RNG state captured right after the spatial
+    draws.  The ``(T, n, n)`` traffic itself is produced chunk by chunk from
+    that state, so the same plan backs both the in-memory cube (all chunks
+    concatenated) and bounded-memory streaming, with bit-identical numbers.
+
+    ``noise_states`` caches the RNG state at bin offsets already visited, so
+    re-streaming from a week boundary does not replay the whole noise stream.
+    """
+
+    n_bins: int
+    bin_seconds: float
+    preference: np.ndarray
+    activity: np.ndarray
+    forward_fraction_matrix: np.ndarray
+    spatial_bias: np.ndarray
+    noise_sigma: float
+    noise_states: dict[int, dict] = field(default_factory=dict)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.preference.shape[0]
+
+    def truth(self, forward_fraction: float) -> GroundTruth:
+        """The ground truth behind the planned series."""
+        return GroundTruth(
+            forward_fraction=forward_fraction,
+            forward_fraction_matrix=self.forward_fraction_matrix,
+            preference=self.preference,
+            activity=self.activity,
+            spatial_bias=self.spatial_bias,
+        )
+
+    def _noise_rng_at(self, start_bin: int) -> np.random.Generator | None:
+        """A generator positioned at ``start_bin`` of the noise stream.
+
+        Noise values are drawn sequentially (``n^2`` per bin), so the state at
+        an arbitrary offset is reached by replaying from the nearest cached
+        state at or before it, discarding the skipped draws chunk-wise.
+        """
+        if self.noise_sigma <= 0:
+            return None
+        anchor = max((b for b in self.noise_states if b <= start_bin), default=None)
+        if anchor is None:  # pragma: no cover - state 0 is always cached
+            raise ValidationError("generation plan is missing its initial noise state")
+        rng = np.random.default_rng(0)
+        rng.bit_generator.state = copy.deepcopy(self.noise_states[anchor])
+        n = self.n_nodes
+        position = anchor
+        while position < start_bin:
+            step = min(start_bin - position, 1024)
+            rng.lognormal(0.0, self.noise_sigma, size=(step, n, n))
+            position += step
+            self._maybe_cache_state(position, rng)
+        return rng
+
+    def _maybe_cache_state(self, position: int, rng: np.random.Generator) -> None:
+        """Cache the noise-stream state at coarse anchors (bounds dict growth)."""
+        if position % _STATE_CACHE_STRIDE == 0 and position not in self.noise_states:
+            self.noise_states[position] = copy.deepcopy(rng.bit_generator.state)
+
+
+# Noise-stream RNG states are cached at multiples of this many bins; replaying
+# to an arbitrary offset therefore discards at most a stride of draws.
+_STATE_CACHE_STRIDE = 256
+
+
+# Chunk length used when materialising a full cube: large enough to amortise
+# kernel dispatch, small enough to keep the scale/noise temporaries in cache.
+_GENERATE_CHUNK_BINS = 512
+
+
 class ICTMGenerator:
     """Generate traffic-matrix series from the IC model (Section 5.5 recipe)."""
 
@@ -127,14 +206,22 @@ class ICTMGenerator:
     def config(self) -> SyntheticTMConfig:
         return self._config
 
-    def generate(
+    def plan(
         self,
         n_bins: int,
         *,
         bin_seconds: float = 300.0,
         start_seconds: float = 0.0,
-    ) -> tuple[TrafficMatrixSeries, GroundTruth]:
-        """Generate ``n_bins`` of traffic together with the ground truth behind it."""
+    ) -> GenerationPlan:
+        """Draw the spatial parameters and activity; defer the per-bin traffic.
+
+        The draws happen in exactly the order of the historical one-shot
+        ``generate`` (preference, activity base levels, activity noise,
+        responder offsets, pair jitter, spatial bias), and the RNG state is
+        captured afterwards so the remaining measurement-noise stream can be
+        consumed chunk by chunk — concatenated chunks are bit-identical to
+        the single full-cube draw.
+        """
         config = self._config
         n = len(self._nodes)
         rng = np.random.default_rng(self._seed)
@@ -170,20 +257,74 @@ class ICTMGenerator:
             if config.spatial_bias_sigma > 0
             else np.ones((n, n))
         )
-        matrices = np.empty((n_bins, n, n))
-        for t in range(n_bins):
-            matrices[t] = general_ic_matrix(f_matrix, activity[t], preference) * spatial_bias
-        if config.noise_sigma > 0:
-            matrices = matrices * rng.lognormal(0.0, config.noise_sigma, size=matrices.shape)
-        series = TrafficMatrixSeries(matrices, self._nodes, bin_seconds=bin_seconds)
-        truth = GroundTruth(
-            forward_fraction=config.forward_fraction,
-            forward_fraction_matrix=f_matrix,
+        return GenerationPlan(
+            n_bins=int(n_bins),
+            bin_seconds=float(bin_seconds),
             preference=preference,
             activity=activity,
+            forward_fraction_matrix=f_matrix,
             spatial_bias=spatial_bias,
+            noise_sigma=float(config.noise_sigma),
+            noise_states={0: copy.deepcopy(rng.bit_generator.state)},
         )
-        return series, truth
+
+    def iter_chunks(
+        self,
+        plan: GenerationPlan,
+        *,
+        chunk_bins: int,
+        start_bin: int = 0,
+        stop_bin: int | None = None,
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(t0, (T_chunk, n, n))`` traffic blocks of a planned series.
+
+        ``t0`` is relative to ``start_bin``, so a week sliced out of a longer
+        plan streams with chunk offsets starting at zero.  Chunks carry the
+        exact values the full cube would: the IC kernel is evaluated on the
+        chunk's activity rows and the noise stream is resumed from the cached
+        RNG state at ``start_bin``.
+        """
+        stop = plan.n_bins if stop_bin is None else min(int(stop_bin), plan.n_bins)
+        start = int(start_bin)
+        if not 0 <= start < stop:
+            raise ValidationError(
+                f"chunk range [{start}, {stop}) is empty or outside the planned {plan.n_bins} bins"
+            )
+        if chunk_bins < 1:
+            raise ValidationError("chunk_bins must be >= 1")
+        rng = plan._noise_rng_at(start)
+        for t0 in range(start, stop, chunk_bins):
+            t1 = min(t0 + chunk_bins, stop)
+            block = general_ic_series(
+                plan.forward_fraction_matrix, plan.activity[t0:t1], plan.preference
+            )
+            block *= plan.spatial_bias
+            if rng is not None:
+                block *= rng.lognormal(0.0, plan.noise_sigma, size=block.shape)
+                plan._maybe_cache_state(t1, rng)
+            yield t0 - start, block
+
+    def generate(
+        self,
+        n_bins: int,
+        *,
+        bin_seconds: float = 300.0,
+        start_seconds: float = 0.0,
+    ) -> tuple[TrafficMatrixSeries, GroundTruth]:
+        """Generate ``n_bins`` of traffic together with the ground truth behind it.
+
+        This is the materialised path: one plan, all chunks concatenated.  It
+        is bit-identical to the historical per-bin loop (the chunked IC
+        kernel and the chunk-split noise draws both reproduce the one-shot
+        values exactly).
+        """
+        plan = self.plan(n_bins, bin_seconds=bin_seconds, start_seconds=start_seconds)
+        n = len(self._nodes)
+        matrices = np.empty((n_bins, n, n))
+        for t0, block in self.iter_chunks(plan, chunk_bins=_GENERATE_CHUNK_BINS):
+            matrices[t0 : t0 + block.shape[0]] = block
+        series = TrafficMatrixSeries(matrices, self._nodes, bin_seconds=bin_seconds)
+        return series, plan.truth(self._config.forward_fraction)
 
 
 class GravityTMGenerator:

@@ -18,6 +18,7 @@ from repro.benchmarking import (
     run_benchmarks,
     write_bench_json,
 )
+from repro import benchmarking
 from repro.cli import main
 
 
@@ -85,6 +86,7 @@ class TestMicroBenchmarks:
             "routing_matrix",
             "ipf_series",
             "tomogravity_batch",
+            "streaming_synthesis",
         ]
 
 
@@ -97,7 +99,7 @@ class TestBenchCLI:
         out = capsys.readouterr().out
         assert "ic_series_kernel" in out
         payload = json.loads((tmp_path / "BENCH_test.json").read_text())
-        assert len(payload["benchmarks"]) == 4
+        assert len(payload["benchmarks"]) == 5
 
     def test_bench_explicit_json_path(self, tmp_path):
         target = tmp_path / "snapshot.json"
@@ -152,3 +154,62 @@ class TestBenchUtilsSharedFormat:
         module._flush_collected()
         payload = json.loads(target.read_text())
         assert payload["benchmarks"][-1]["name"] == "test_fake_benchmark"
+
+
+class TestBenchCompare:
+    def _write(self, tmp_path, name, times, revision):
+        records = [
+            benchmarking.BenchmarkRecord(name=bench, wall_seconds=seconds)
+            for bench, seconds in times.items()
+        ]
+        return benchmarking.write_bench_json(
+            records, path=tmp_path / name, revision=revision
+        )
+
+    def test_no_regression_within_threshold(self, tmp_path):
+        old = self._write(tmp_path, "a.json", {"k1": 1.0, "k2": 0.5}, "aaa")
+        new = self._write(tmp_path, "b.json", {"k1": 1.1, "k2": 0.45}, "bbb")
+        comparison = benchmarking.compare_bench_files(old, new, threshold=0.25)
+        assert not comparison.has_regressions
+        assert comparison.old_revision == "aaa"
+        assert comparison.new_revision == "bbb"
+        table = comparison.format_table()
+        assert "no regressions" in table
+        assert "aaa -> bbb" in table
+
+    def test_regression_beyond_threshold_is_flagged(self, tmp_path):
+        old = self._write(tmp_path, "a.json", {"k1": 1.0, "k2": 0.5}, "aaa")
+        new = self._write(tmp_path, "b.json", {"k1": 1.5, "k2": 0.5}, "bbb")
+        comparison = benchmarking.compare_bench_files(old, new, threshold=0.25)
+        assert comparison.has_regressions
+        assert [row[0] for row in comparison.regressions] == ["k1"]
+        assert "REGRESSED" in comparison.format_table()
+
+    def test_disjoint_benchmarks_are_reported_not_compared(self, tmp_path):
+        old = self._write(tmp_path, "a.json", {"k1": 1.0, "gone": 2.0}, "aaa")
+        new = self._write(tmp_path, "b.json", {"k1": 1.0, "fresh": 2.0}, "bbb")
+        comparison = benchmarking.compare_bench_files(old, new)
+        assert comparison.only_old == ["gone"]
+        assert comparison.only_new == ["fresh"]
+        assert [row[0] for row in comparison.rows] == ["k1"]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="repro-bench-v1"):
+            benchmarking.load_bench_json(path)
+
+    def test_cli_compare_exit_codes(self, tmp_path, capsys):
+        old = self._write(tmp_path, "a.json", {"k1": 1.0}, "aaa")
+        new = self._write(tmp_path, "b.json", {"k1": 1.0}, "bbb")
+        slow = self._write(tmp_path, "c.json", {"k1": 2.0}, "ccc")
+        assert main(["bench", "--compare", str(old), str(new)]) == 0
+        assert main(["bench", "--compare", str(old), str(slow)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        assert main(["bench", "--compare", str(old), str(tmp_path / "missing.json")]) == 2
+        assert main(["bench", "--compare", str(old), str(new), "--threshold", "-1"]) == 2
+
+    def test_streaming_synthesis_benchmark_bounds_memory(self):
+        record = benchmarking.bench_streaming_synthesis(bins=96, repeat=1)
+        assert record.name == "streaming_synthesis"
+        assert record.extra_info["peak_memory_ratio"] > 1.0

@@ -201,3 +201,63 @@ class TestList:
         output = capsys.readouterr().out
         assert "--quick" in output
         assert "BENCH_" in output
+
+
+class TestStreaming:
+    """The --stream/--chunk-bins knobs on run, estimate and sweep."""
+
+    def test_estimate_stream_reports_chunking_and_rss(self, capsys):
+        code = main(
+            ["estimate", "--prior", "stable_f", "--dataset", "geant",
+             "--stream", "--chunk-bins", "4", *SMALL]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streamed chunk bins" in out
+        assert "4" in out
+        assert "peak RSS" in out
+
+    def test_estimate_stream_matches_in_memory_numbers(self, capsys):
+        assert main(["estimate", "--prior", "stable_f", "--dataset", "geant", *SMALL]) == 0
+        in_memory = capsys.readouterr().out
+        assert main(
+            ["estimate", "--prior", "stable_f", "--dataset", "geant",
+             "--stream", "--chunk-bins", "3", *SMALL]
+        ) == 0
+        streamed = capsys.readouterr().out
+
+        def mean_error(output: str) -> str:
+            for line in output.splitlines():
+                if line.startswith("mean estimation error "):
+                    return line.split()[-1]
+            raise AssertionError(f"no error line in {output!r}")
+
+        assert mean_error(in_memory) == mean_error(streamed)
+
+    def test_run_fig_experiments_accept_stream(self, capsys):
+        code = main(["run", "fig13", "--bins-per-week", "36", "--stream", "--chunk-bins", "6"])
+        assert code == 0
+        assert "stable-f" in capsys.readouterr().out
+
+    def test_run_rejects_stream_for_unsupported_experiment(self, capsys):
+        code = main(["run", "fig5", "--stream"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "does not support --stream" in err
+        assert "fig11" in err and "fig13" in err
+
+    def test_sweep_accepts_stream(self, capsys):
+        code = main(
+            ["sweep", "--priors", "stable_f", "--datasets", "geant",
+             "--stream", "--chunk-bins", "4", *SMALL]
+        )
+        assert code == 0
+        assert "1 priors x 1 datasets" in capsys.readouterr().out
+
+    def test_stream_rejects_invalid_chunk_bins(self, capsys):
+        code = main(
+            ["estimate", "--prior", "stable_f", "--dataset", "geant",
+             "--stream", "--chunk-bins", "0", *SMALL]
+        )
+        assert code == 2
+        assert "chunk_bins" in capsys.readouterr().err

@@ -230,3 +230,52 @@ class TestPipeline:
         result = TMEstimator().estimate(system, prior, ground_truth=series)
         improvement = result.improvement_over(result)
         np.testing.assert_allclose(improvement, 0.0)
+
+
+class TestSparseAugmentedSystem:
+    """The stacked observation operator built without densifying the routing matrix."""
+
+    def test_sparse_operator_equals_dense(self, abilene_world):
+        _, _, system = abilene_world
+        dense_b, dense_z = system.augmented_system()
+        sparse_b, sparse_z = system.augmented_system(as_sparse=True)
+        from scipy import sparse as scipy_sparse
+
+        assert scipy_sparse.issparse(sparse_b)
+        assert np.array_equal(dense_b, sparse_b.toarray())
+        assert np.array_equal(dense_z, sparse_z)
+
+    def test_tomogravity_accepts_sparse_operator(self, abilene_world):
+        _, series, system = abilene_world
+        dense_b, z = system.augmented_system()
+        sparse_b, _ = system.augmented_system(as_sparse=True)
+        priors = series.to_vectors()
+        dense_estimates = tomogravity_estimate(priors, dense_b, z)
+        sparse_estimates = tomogravity_estimate(priors, sparse_b, z)
+        np.testing.assert_allclose(sparse_estimates, dense_estimates, rtol=1e-8, atol=1e-3)
+        single = tomogravity_estimate(priors[0], sparse_b, z[0])
+        np.testing.assert_allclose(single, dense_estimates[0], rtol=1e-8, atol=1e-3)
+
+    def test_estimator_sparse_mode_matches_dense(self, abilene_world):
+        topology, series, system = abilene_world
+        prior = GravityPrior().series(
+            system.ingress, system.egress, nodes=series.nodes, bin_seconds=series.bin_seconds
+        )
+        dense_result = TMEstimator(use_sparse_system=False).estimate(
+            system, prior, ground_truth=series
+        )
+        sparse_result = TMEstimator(use_sparse_system=True).estimate(
+            system, prior, ground_truth=series
+        )
+        np.testing.assert_allclose(sparse_result.errors, dense_result.errors, rtol=1e-6)
+
+    def test_auto_mode_keeps_paper_scale_topologies_dense(self, abilene_world):
+        _, _, system = abilene_world
+        from repro.estimation.pipeline import SPARSE_SYSTEM_MIN_NODES
+
+        estimator = TMEstimator()
+        assert system.n_nodes < SPARSE_SYSTEM_MIN_NODES
+        assert estimator._resolve_sparse(system) is False
+        assert TMEstimator(use_sparse_system=True)._resolve_sparse(system) is True
+        # The entropy method always runs dense.
+        assert TMEstimator(method="entropy", use_sparse_system=True)._resolve_sparse(system) is False

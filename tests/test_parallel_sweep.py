@@ -15,7 +15,7 @@ SMALL = {"bins_per_week": 36, "max_bins": 4}
 class TestRunSweepCell:
     def test_success_returns_result(self):
         scenario = Scenario(dataset="geant", prior="stable_f", **SMALL)
-        result, message = _run_sweep_cell(("gravity", scenario))
+        result, message = _run_sweep_cell(("gravity", scenario, None))
         assert message is None
         assert result.errors.shape[0] == 4
 
@@ -24,7 +24,7 @@ class TestRunSweepCell:
         scenario = Scenario(
             dataset="geant", prior="stable_f", measured_forward_fraction=0.5, **SMALL
         )
-        result, message = _run_sweep_cell(("gravity", scenario))
+        result, message = _run_sweep_cell(("gravity", scenario, None))
         assert result is None
         assert "ValidationError" in message
 
@@ -80,3 +80,61 @@ class TestParallelSweep:
     def test_empty_grid_rejected(self):
         with pytest.raises(ValidationError):
             ScenarioRunner().sweep(priors=(), datasets=("geant",), jobs=2)
+
+
+class TestPreSynthesizedDatasets:
+    """The parent synthesizes each dataset column once and ships it to workers."""
+
+    def test_run_uses_shipped_dataset(self):
+        # Ship a dataset generated with a *different* seed than the scenario
+        # names; if run() honoured the scenario's own synthesis path instead
+        # of the shipped arrays, the errors would match the default seed.
+        from repro.synthesis.datasets import load_dataset
+
+        scenario = Scenario(dataset="geant", prior="stable_f", n_weeks=2, **SMALL)
+        default_result = ScenarioRunner().run(scenario)
+        shipped = load_dataset("geant", n_weeks=2, bins_per_week=36, seed=777)
+        shipped_result = ScenarioRunner().run(scenario, dataset=shipped)
+        assert not np.allclose(default_result.errors, shipped_result.errors)
+
+    def test_run_rejects_too_short_shipped_dataset(self):
+        from repro.synthesis.datasets import load_dataset
+
+        scenario = Scenario(
+            dataset="geant", prior="stable_f", calibration_week=1, target_week=2, **SMALL
+        )
+        shipped = load_dataset("geant", n_weeks=1, bins_per_week=36)
+        with pytest.raises(ValidationError, match="weeks"):
+            ScenarioRunner().run(scenario, dataset=shipped)
+
+    def test_worker_cell_prefers_shipped_dataset(self):
+        from repro.scenarios.runner import _init_sweep_worker
+        from repro.synthesis.datasets import load_dataset
+
+        cell = Scenario(dataset="geant", prior="stable_f", n_weeks=2, **SMALL)
+        key = ScenarioRunner._dataset_key(cell)
+        assert key == ("geant", 2, 36, False, None)
+        shipped = load_dataset("geant", n_weeks=2, bins_per_week=36, seed=777)
+        _init_sweep_worker({key: shipped})
+        try:
+            result, message = _run_sweep_cell(("gravity", cell, key))
+            assert message is None
+            baseline, _ = _run_sweep_cell(("gravity", cell, None))
+            assert not np.allclose(result.errors, baseline.errors)
+        finally:
+            _init_sweep_worker({})
+
+    def test_streaming_cells_are_not_shipped(self):
+        cell = Scenario(dataset="geant", prior="stable_f", n_weeks=2, stream=True, **SMALL)
+        assert ScenarioRunner._dataset_key(cell) is None
+        assert ScenarioRunner._dataset_key(cell.replace(stream=False, n_weeks=None)) is None
+
+    def test_parallel_sweep_ships_column_synthesis(self):
+        # End to end: a 2-prior column over one dataset, two workers.  The
+        # results must be identical to the serial (cache-backed) sweep.
+        kwargs = dict(priors=("stable_f", "gravity"), datasets=("geant",), base=dict(SMALL))
+        serial = ScenarioRunner().sweep(jobs=1, **kwargs)
+        parallel = ScenarioRunner().sweep(jobs=2, **kwargs)
+        assert len(parallel.results) == len(serial.results) == 2
+        for serial_cell, parallel_cell in zip(serial.results, parallel.results):
+            assert np.array_equal(serial_cell.errors, parallel_cell.errors)

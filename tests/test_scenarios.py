@@ -211,7 +211,7 @@ class TestScenarioRunner:
         assert result.errors.shape == (6,)
         assert result.improvement is not None
         assert np.all(np.isfinite(result.improvement))
-        assert set(result.timing) == {"dataset", "prior", "estimation", "total"}
+        assert set(result.timing) >= {"dataset", "prior", "estimation", "total", "peak_rss_mb"}
         assert result.timing["total"] > 0
 
     def test_run_accepts_plain_dicts(self):
