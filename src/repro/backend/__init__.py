@@ -1,0 +1,52 @@
+"""Pluggable array-API compute backends.
+
+One kernel codebase, several array libraries: the batched IC-series,
+gravity, stable-fP ALS, tomogravity, IPF and entropy kernels accept a
+``backend`` and run against that backend's array namespace, with host/device
+transfer only at the synthesis and result boundaries.  Built-ins:
+
+* ``numpy`` — the default; runs the historical, bit-identical code paths,
+* ``array_api_strict`` — strict standard namespace over NumPy, used by the
+  conformance tests (install ``array-api-strict``),
+* ``torch`` / ``cupy`` — accelerator backends, registered lazily and only
+  usable when the library is installed (no new hard dependencies).
+
+Selection order: explicit ``backend=`` argument > innermost
+:func:`use_backend` context > ``REPRO_BACKEND`` environment variable >
+``numpy``.  The CLI exposes the same choice as ``--backend``.
+
+Register your own::
+
+    from repro.backend import Backend, register_backend
+
+    @register_backend("mylib", description="...")
+    class MyBackend(Backend):
+        name = "mylib"
+        def _load(self):
+            import mylib
+            return mylib
+"""
+
+from repro.backend.base import Backend
+from repro.backend.registry import (
+    ENV_VAR,
+    available_backends,
+    backend_available,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    use_backend,
+)
+
+__all__ = [
+    "Backend",
+    "ENV_VAR",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "use_backend",
+    "backend_names",
+    "backend_available",
+    "available_backends",
+]

@@ -1,0 +1,226 @@
+"""The :class:`Backend` protocol: one array namespace plus the shims kernels need.
+
+The Python array-API standard covers almost everything the batched IC
+kernels do — elementwise arithmetic, broadcasting, ``matmul``, reductions,
+``linalg.solve`` / ``linalg.pinv`` — but not quite everything, and the
+libraries we target diverge in small ways (``einsum`` is absent from the
+standard, ``torch`` spells ``matrix_transpose`` as ``Tensor.mT``, reduction
+``max`` returns a tuple under torch, pseudo-inverse tolerance is ``rcond``
+in NumPy and ``rtol`` everywhere else).  A :class:`Backend` bundles
+
+* ``xp`` — the array namespace the kernels call for standard operations,
+* device transfer — :meth:`asarray` (host → device, once per chunk at the
+  synthesis boundary) and :meth:`to_numpy` (device → host, once at the
+  result boundary),
+* shims for the gaps — :meth:`einsum` (native where available, a
+  pattern-table fallback otherwise), :meth:`solve`, :meth:`pinv`,
+  :meth:`lstsq`, :meth:`matrix_transpose`, :meth:`max`,
+* dtype/device defaults (:attr:`float_dtype`, :attr:`device`), and
+* capability flags — :attr:`is_numpy` (the bit-identical legacy paths),
+  :attr:`supports_scipy` (arrays usable by ``scipy`` directly, which gates
+  the sparse tomogravity operator and the L-BFGS entropy refinement).
+
+Concrete backends subclass this and override :meth:`_load` plus whatever
+shims their library spells differently; see :mod:`repro.backend.builtins`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import BackendError
+
+__all__ = ["Backend"]
+
+
+def _einsum_ti_j_tij(xp, a, b):
+    return a[:, :, None] * b[None, None, :]
+
+
+def _einsum_tj_i_tij(xp, a, b):
+    return a[:, None, :] * b[None, :, None]
+
+
+def _einsum_ti_tj_tij(xp, a, b):
+    return a[:, :, None] * b[:, None, :]
+
+
+def _einsum_tj_ti_tij(xp, a, b):
+    return a[:, None, :] * b[:, :, None]
+
+
+def _einsum_t_ti_tj_ij(xp, w, a, b):
+    return xp.matmul(xp.matrix_transpose(w[:, None] * a), b)
+
+
+def _einsum_t_ti_tik_k(xp, w, a, x):
+    return xp.sum((w[:, None] * a)[:, :, None] * x, axis=(0, 1))
+
+
+def _einsum_t_tj_tkj_k(xp, w, a, x):
+    return xp.sum((w[:, None] * a)[:, None, :] * x, axis=(0, 2))
+
+
+def _einsum_t_tij_tij_scalar(xp, w, u, v):
+    return xp.sum(w[:, None, None] * u * v)
+
+
+#: The contraction patterns the namespace-generic kernels use, implemented
+#: with standard broadcasting + ``matmul`` for namespaces without ``einsum``
+#: (``array_api_strict`` is the built-in case).
+_EINSUM_FALLBACKS: dict[str, Callable] = {
+    "ti,j->tij": _einsum_ti_j_tij,
+    "tj,i->tij": _einsum_tj_i_tij,
+    "ti,tj->tij": _einsum_ti_tj_tij,
+    "tj,ti->tij": _einsum_tj_ti_tij,
+    "t,ti,tj->ij": _einsum_t_ti_tj_ij,
+    "t,ti,tik->k": _einsum_t_ti_tik_k,
+    "t,tj,tkj->k": _einsum_t_tj_tkj_k,
+    "t,tij,tij->": _einsum_t_tij_tij_scalar,
+}
+
+
+class Backend:
+    """One array namespace plus transfer and linear-algebra shims.
+
+    Subclasses set :attr:`name` and implement :meth:`_load` (returning the
+    array namespace); the default method implementations follow the array-API
+    standard and are overridden where a library deviates.
+    """
+
+    #: Registry name of the backend.
+    name: str = "abstract"
+    #: True only for the NumPy backend, whose kernels run the historical
+    #: bit-identical code paths.
+    is_numpy: bool = False
+    #: Whether ``scipy`` can consume this backend's arrays directly (sparse
+    #: operators, L-BFGS refinement).  False forces dense device paths and
+    #: host round-trips for scipy-backed stages.
+    supports_scipy: bool = False
+    #: Whether the namespace ships a native ``einsum``.
+    has_native_einsum: bool = True
+
+    def __init__(self, *, device: Any = None):
+        self.xp = self._load()
+        self.device = device
+
+    # -- construction -------------------------------------------------------
+
+    def _load(self):
+        """Import and return the array namespace (may raise ImportError)."""
+        raise NotImplementedError
+
+    # -- dtype / device defaults --------------------------------------------
+
+    @property
+    def float_dtype(self):
+        """Default floating dtype; float64 so results track the NumPy paths."""
+        return self.xp.float64
+
+    # -- host/device transfer ------------------------------------------------
+
+    def asarray(self, values, *, dtype=None):
+        """Ship ``values`` (host array-like or device array) to the device.
+
+        Idempotent for arrays already on this backend, so pipeline stages can
+        call it defensively without paying a second transfer.
+        """
+        dtype = self.float_dtype if dtype is None else dtype
+        kwargs = {"dtype": dtype}
+        if self.device is not None:
+            kwargs["device"] = self.device
+        try:
+            return self.xp.asarray(values, **kwargs)
+        except TypeError:
+            return self.xp.asarray(np.asarray(values, dtype=float), **kwargs)
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Bring a device array back to a host ``numpy.ndarray`` (writable)."""
+        if isinstance(array, np.ndarray):
+            return array
+        try:
+            return np.array(array, copy=True)
+        except (TypeError, RuntimeError):
+            return np.array(np.from_dlpack(array), copy=True)
+
+    def scalar(self, array) -> float:
+        """A python float from a 0-D device array (one sync point)."""
+        return float(array)
+
+    def synchronize(self) -> None:
+        """Wait for queued device work (no-op on synchronous backends)."""
+
+    # -- gaps in the array-API standard ---------------------------------------
+
+    def einsum(self, subscripts: str, *operands):
+        """``einsum`` — native when the namespace has one, else a pattern table.
+
+        The fallback covers exactly the contractions the namespace-generic
+        kernels use; an unknown pattern raises :class:`BackendError` naming it.
+        """
+        if self.has_native_einsum:
+            native = getattr(self.xp, "einsum", None)
+            if native is not None:
+                return native(subscripts, *operands)
+        key = subscripts.replace(" ", "")
+        implementation = _EINSUM_FALLBACKS.get(key)
+        if implementation is None:
+            raise BackendError(
+                f"backend {self.name!r} has no native einsum and no fallback for "
+                f"pattern {subscripts!r}; known patterns: {sorted(_EINSUM_FALLBACKS)}"
+            )
+        return implementation(self.xp, *operands)
+
+    def matrix_transpose(self, array):
+        """Swap the last two axes (``numpy.matrix_transpose`` semantics)."""
+        return self.xp.matrix_transpose(array)
+
+    def solve(self, a, b):
+        """``linalg.solve`` for the square system ``a @ x = b``."""
+        return self.xp.linalg.solve(a, b)
+
+    def pinv(self, a, *, rtol: float | None = None):
+        """Moore-Penrose pseudo-inverse (``rtol`` spelled per library)."""
+        if rtol is None:
+            return self.xp.linalg.pinv(a)
+        return self.xp.linalg.pinv(a, rtol=rtol)
+
+    def lstsq(self, a, b):
+        """Minimum-norm least squares ``argmin_x ||a x - b||``.
+
+        The standard has no ``lstsq``; the default composes it from
+        :meth:`pinv`, which matches the normal-equation uses in this package.
+        """
+        return self.xp.matmul(self.pinv(a), b)
+
+    def max(self, array, *, axis=None):
+        """Reduction ``max`` returning values only (torch returns a tuple)."""
+        if axis is None:
+            return self.xp.max(array)
+        return self.xp.max(array, axis=axis)
+
+    # -- introspection --------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Fingerprint for bench JSON: name, module, version, device."""
+        module = getattr(self.xp, "__name__", type(self.xp).__name__)
+        version = getattr(self.xp, "__version__", None)
+        if version is None:
+            try:
+                import importlib
+
+                version = getattr(importlib.import_module(module.split(".")[0]), "__version__", "?")
+            except ImportError:  # pragma: no cover - defensive
+                version = "?"
+        return {
+            "name": self.name,
+            "module": module,
+            "version": str(version),
+            "device": str(self.device) if self.device is not None else "cpu",
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        device = f", device={self.device!r}" if self.device is not None else ""
+        return f"<Backend {self.name}{device}>"

@@ -1,0 +1,159 @@
+"""The built-in compute backends: numpy, array-api-strict, torch, cupy.
+
+Only ``numpy`` is a hard dependency; the other three register lazy factories
+that import their library on first use, so this module adds **no** new
+install requirements.  ``array_api_strict`` exists for conformance testing —
+it wraps NumPy behind the strict standard namespace, which is what keeps the
+namespace-generic kernels honest about portability.  ``torch`` and ``cupy``
+are the accelerator backends; both default to float64 on their default
+device so results track the NumPy reference (pass ``device=``/``dtype=``
+through :meth:`Backend.asarray` for other placements).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import Backend
+from repro.backend.registry import register_backend
+
+__all__ = ["NumpyBackend", "ArrayApiStrictBackend", "TorchBackend", "CupyBackend"]
+
+
+class NumpyBackend(Backend):
+    """The default backend: plain NumPy on the host, bit-identical paths."""
+
+    name = "numpy"
+    is_numpy = True
+    supports_scipy = True
+
+    def _load(self):
+        return np
+
+    def asarray(self, values, *, dtype=None):
+        return np.asarray(values, dtype=float if dtype is None else dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+    def pinv(self, a, *, rtol: float | None = None):
+        # NumPy spells the tolerance ``rcond``; keep its historical default
+        # when none is given so legacy call sites stay bit-identical.
+        if rtol is None:
+            return np.linalg.pinv(a)
+        return np.linalg.pinv(a, rcond=rtol)
+
+    def lstsq(self, a, b):
+        return np.linalg.lstsq(a, b, rcond=None)[0]
+
+
+class ArrayApiStrictBackend(Backend):
+    """Strict array-API namespace over NumPy — the conformance backend.
+
+    Numerically this is NumPy, but only standard functions exist, so any
+    NumPy-only idiom in a namespace-generic kernel fails loudly here instead
+    of silently pinning the codebase to one library.
+    """
+
+    name = "array_api_strict"
+    has_native_einsum = False  # the standard has no einsum; use the fallback
+
+    def _load(self):
+        import array_api_strict
+
+        return array_api_strict
+
+
+class TorchBackend(Backend):
+    """PyTorch backend (CPU or CUDA/MPS via ``device=``); float64 default."""
+
+    name = "torch"
+
+    def _load(self):
+        import torch
+
+        return torch
+
+    def asarray(self, values, *, dtype=None):
+        torch = self.xp
+        dtype = torch.float64 if dtype is None else dtype
+        if isinstance(values, torch.Tensor):
+            tensor = values
+        else:
+            tensor = torch.as_tensor(np.asarray(values))
+        tensor = tensor.to(dtype=dtype)
+        if self.device is not None:
+            tensor = tensor.to(device=self.device)
+        return tensor
+
+    def to_numpy(self, array) -> np.ndarray:
+        if isinstance(array, np.ndarray):
+            return array
+        return array.detach().cpu().numpy()
+
+    def matrix_transpose(self, array):
+        return array.mT
+
+    def max(self, array, *, axis=None):
+        if axis is None:
+            return self.xp.max(array)
+        # torch.max(dim=...) returns (values, indices); amax returns values.
+        return self.xp.amax(array, dim=axis)
+
+    def synchronize(self) -> None:
+        torch = self.xp
+        if self.device is not None and torch.cuda.is_available():  # pragma: no cover
+            torch.cuda.synchronize()
+
+
+class CupyBackend(Backend):
+    """CuPy backend: NumPy-compatible namespace resident on the GPU."""
+
+    name = "cupy"
+
+    def _load(self):
+        import cupy
+
+        return cupy
+
+    def asarray(self, values, *, dtype=None):
+        return self.xp.asarray(values, dtype=self.xp.float64 if dtype is None else dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        if isinstance(array, np.ndarray):
+            return array
+        return self.xp.asnumpy(array)
+
+    def pinv(self, a, *, rtol: float | None = None):
+        if rtol is None:
+            return self.xp.linalg.pinv(a)
+        return self.xp.linalg.pinv(a, rcond=rtol)
+
+    def synchronize(self) -> None:  # pragma: no cover - requires a GPU
+        self.xp.cuda.get_current_stream().synchronize()
+
+
+register_backend(
+    "numpy",
+    NumpyBackend,
+    description="NumPy on the host (default; bit-identical legacy kernels)",
+    metadata={"requires": "numpy", "gated": False, "device": "cpu"},
+)
+register_backend(
+    "array_api_strict",
+    ArrayApiStrictBackend,
+    description="Strict array-API namespace over NumPy (conformance/testing)",
+    metadata={"requires": "array-api-strict", "gated": True, "device": "cpu"},
+)
+register_backend(
+    "torch",
+    TorchBackend,
+    description="PyTorch tensors (CPU/CUDA/MPS), float64 default",
+    metadata={"requires": "torch", "gated": True, "device": "cpu|cuda|mps"},
+)
+register_backend(
+    "cupy",
+    CupyBackend,
+    description="CuPy arrays resident on the GPU",
+    metadata={"requires": "cupy", "gated": True, "device": "cuda"},
+)

@@ -1,0 +1,153 @@
+"""Backend registration and selection.
+
+Backends register a *factory* (a zero-argument callable returning a
+:class:`repro.backend.base.Backend`) in the shared component registry, so
+``repro list backends`` shows them next to priors and datasets.  Gated
+backends (torch, cupy, array-api-strict) register unconditionally but their
+factories import lazily — looking one up on a machine without the library
+raises :class:`repro.errors.BackendUnavailableError` with an install hint,
+and :func:`available_backends` simply omits it.
+
+Selection order, most specific wins:
+
+1. an explicit ``backend=`` argument (a name or a :class:`Backend` instance),
+2. the innermost active :func:`use_backend` context,
+3. the ``REPRO_BACKEND`` environment variable,
+4. the default: ``numpy``.
+
+Instances are cached per name — a backend is constructed (and its library
+imported) at most once per process.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.backend.base import Backend
+from repro.errors import BackendError, BackendUnavailableError
+from repro.registry import BACKENDS, canonical_name
+
+__all__ = [
+    "ENV_VAR",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "use_backend",
+    "backend_names",
+    "available_backends",
+    "backend_available",
+]
+
+#: Environment variable consulted when no explicit backend is selected.
+ENV_VAR = "REPRO_BACKEND"
+
+# Cached Backend instances by canonical name (one import per process).
+_INSTANCES: dict[str, Backend] = {}
+
+# Stack of Backend instances pushed by nested use_backend() contexts.
+_ACTIVE: list[Backend] = []
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], Backend] | None = None,
+    *,
+    description: str = "",
+    metadata: dict | None = None,
+    overwrite: bool = False,
+):
+    """Register a backend factory (usable as a decorator).
+
+    ``factory`` is called lazily the first time the backend is requested and
+    must return a :class:`Backend`; raise :class:`BackendUnavailableError`
+    (or let an ``ImportError`` propagate) when the underlying library is
+    missing.  Third-party code can register additional backends and select
+    them by name everywhere a built-in works (``--backend``, ``REPRO_BACKEND``,
+    ``Scenario(backend=...)``).
+    """
+    return BACKENDS.register(
+        name, factory, description=description, metadata=metadata, overwrite=overwrite
+    )
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every registered backend name (installed or not), sorted."""
+    return BACKENDS.names()
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` is registered and its library imports."""
+    try:
+        get_backend(name)
+    except (BackendError, ImportError):
+        return False
+    return True
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backends whose libraries are importable, sorted."""
+    return tuple(name for name in backend_names() if backend_available(name))
+
+
+def _instantiate(name: str) -> Backend:
+    key = canonical_name(name)
+    cached = _INSTANCES.get(key)
+    if cached is not None:
+        return cached
+    entry = BACKENDS.entry(key)  # raises RegistryError naming the choices
+    try:
+        backend = entry.obj()
+    except ImportError as exc:
+        hint = entry.metadata.get("requires", key)
+        raise BackendUnavailableError(
+            f"backend {key!r} is registered but its array library is not "
+            f"installed ({exc}); install {hint!r} to enable it"
+        ) from exc
+    if not isinstance(backend, Backend):
+        raise BackendError(
+            f"backend factory for {key!r} returned {type(backend).__name__}, "
+            "expected a repro.backend.Backend"
+        )
+    _INSTANCES[key] = backend
+    return backend
+
+
+def get_backend(name: str | None = None) -> Backend:
+    """The selected backend instance.
+
+    With ``name=None`` the ambient selection applies: the innermost
+    :func:`use_backend` context, then ``REPRO_BACKEND``, then ``numpy``.
+    """
+    if name is None:
+        if _ACTIVE:
+            return _ACTIVE[-1]
+        name = os.environ.get(ENV_VAR) or "numpy"
+    return _instantiate(name)
+
+
+def resolve_backend(backend: "Backend | str | None") -> Backend:
+    """Coerce an explicit argument — instance, name, or ``None`` (ambient)."""
+    if isinstance(backend, Backend):
+        return backend
+    return get_backend(backend)
+
+
+@contextmanager
+def use_backend(name: "Backend | str | None") -> Iterator[Backend]:
+    """Select ``name`` for the duration of the ``with`` block.
+
+    ``None`` is a no-op (the ambient selection stays in force), so callers
+    can write ``with use_backend(maybe_name):`` unconditionally.  Yields the
+    resolved :class:`Backend`.
+    """
+    if name is None:
+        yield get_backend()
+        return
+    backend = resolve_backend(name)
+    _ACTIVE.append(backend)
+    try:
+        yield backend
+    finally:
+        _ACTIVE.pop()

@@ -58,6 +58,14 @@ def _add_scenario_knobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset-seed", type=int, default=None,
                         help="override the dataset generation seed")
     _add_streaming_knobs(parser)
+    _add_backend_knob(parser)
+
+
+def _add_backend_knob(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default=None,
+                        help="registered compute backend to run the kernels on "
+                             "(see `repro list backends`; overrides "
+                             "REPRO_BACKEND, default numpy)")
 
 
 def _add_streaming_knobs(parser: argparse.ArgumentParser) -> None:
@@ -94,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--bins-per-week", type=int, default=None,
                      help="override the number of time bins per week")
     _add_streaming_knobs(run)
+    _add_backend_knob(run)
     run.set_defaults(handler=_cmd_run)
 
     estimate = subparsers.add_parser(
@@ -213,11 +222,16 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.backend import use_backend
+
     names = (
         list(EXPERIMENTS_REGISTRY.names()) if args.experiment == "all" else [args.experiment]
     )
-    for name in names:
-        print(_run_one(name, args))
+    # The experiment drivers pick the backend up ambiently (fit_stable_fp and
+    # TMEstimator resolve it), so one context covers every figure.
+    with use_backend(args.backend):
+        for name in names:
+            print(_run_one(name, args))
     return 0
 
 
@@ -238,6 +252,7 @@ def _scenario_from_args(args: argparse.Namespace, *, dataset: str, prior: str) -
         measured_forward_fraction=getattr(args, "forward_fraction", None),
         stream=args.stream,
         chunk_bins=args.chunk_bins,
+        backend=args.backend,
     )
 
 
@@ -282,6 +297,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"{kind}:")
         for entry in registry.entries():
             description = f"  {entry.description}" if entry.description else ""
+            if kind == "backends":
+                from repro.backend import backend_available
+
+                state = "available" if backend_available(entry.name) else "not installed"
+                description = f"{description}  [{state}]"
             print(f"  {entry.name:<14}{description}")
             if entry.metadata:
                 hints = ", ".join(

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.core.metrics import percent_improvement, rel_l2_temporal_error
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.errors import ValidationError
@@ -97,7 +98,16 @@ class TMEstimator:
         (the default) chooses automatically: sparse for tomogravity on
         networks of :data:`SPARSE_SYSTEM_MIN_NODES` or more PoPs, dense
         otherwise (the historical, bit-stable path for the paper-scale
-        topologies).  The entropy method always densifies.
+        topologies).  The entropy method always densifies, and so does any
+        non-NumPy backend (``scipy.sparse`` operators are host-only).
+    backend:
+        Compute backend for the refinement and IPF stages
+        (:mod:`repro.backend`): a name, a ``Backend`` instance, or ``None``
+        to follow the ambient selection (``use_backend`` context /
+        ``REPRO_BACKEND`` environment variable, default ``numpy``).  On a
+        non-NumPy backend the observation system is shipped to the device
+        once per run, priors once per run (or once per chunk when
+        streaming), and only the final estimates return to the host.
     """
 
     def __init__(
@@ -107,6 +117,7 @@ class TMEstimator:
         use_marginals_in_refinement: bool = True,
         ipf_iterations: int = 50,
         use_sparse_system: bool | None = None,
+        backend=None,
     ):
         if method not in ("tomogravity", "entropy"):
             raise ValidationError(f"unknown refinement method {method!r}")
@@ -114,18 +125,25 @@ class TMEstimator:
         self._augment = bool(use_marginals_in_refinement)
         self._ipf_iterations = int(ipf_iterations)
         self._use_sparse = use_sparse_system
+        self._backend = backend
 
-    def _resolve_sparse(self, system: LinkLoadSystem) -> bool:
+    def _resolve_backend(self):
+        """The backend this run executes on (explicit, else ambient)."""
+        return resolve_backend(self._backend)
+
+    def _resolve_sparse(self, system: LinkLoadSystem, backend=None) -> bool:
         """Whether this run uses the sparse stacked operator."""
         if self._method != "tomogravity":
+            return False
+        if backend is not None and not backend.is_numpy:
             return False
         if self._use_sparse is None:
             return system.n_nodes >= SPARSE_SYSTEM_MIN_NODES
         return bool(self._use_sparse)
 
-    def _observation_system(self, system: LinkLoadSystem):
+    def _observation_system(self, system: LinkLoadSystem, backend=None):
         """The ``(B, Z)`` pair the refinement step solves against."""
-        as_sparse = self._resolve_sparse(system)
+        as_sparse = self._resolve_sparse(system, backend)
         if self._augment:
             return system.augmented_system(as_sparse=as_sparse)
         matrix = system.routing.sparse if as_sparse else system.routing.matrix
@@ -159,19 +177,31 @@ class TMEstimator:
                 f"prior has {prior.n_nodes} nodes but the routing matrix has {system.n_nodes}"
             )
         n = system.n_nodes
-        matrix, observations = self._observation_system(system)
+        backend = self._resolve_backend()
+        matrix, observations = self._observation_system(system, backend)
 
         prior_vectors = prior.to_vectors()
-        if self._method == "tomogravity":
-            refined = tomogravity_estimate(prior_vectors, matrix, observations)
+        if backend.is_numpy:
+            if self._method == "tomogravity":
+                refined = tomogravity_estimate(prior_vectors, matrix, observations)
+            else:
+                refined = entropy_estimate(prior_vectors, matrix, observations)
+            estimates = iterative_proportional_fitting_series(
+                refined.reshape(system.n_timesteps, n, n),
+                system.ingress,
+                system.egress,
+                max_iterations=self._ipf_iterations,
+            )
         else:
-            refined = entropy_estimate(prior_vectors, matrix, observations)
-        estimates = iterative_proportional_fitting_series(
-            refined.reshape(system.n_timesteps, n, n),
-            system.ingress,
-            system.egress,
-            max_iterations=self._ipf_iterations,
-        )
+            estimates = self._estimate_on_device(
+                backend,
+                prior_vectors,
+                backend.asarray(matrix),
+                backend.asarray(observations),
+                system.ingress,
+                system.egress,
+                n,
+            )
         estimate_series = TrafficMatrixSeries(
             estimates, prior.nodes, bin_seconds=prior.bin_seconds
         )
@@ -182,6 +212,33 @@ class TMEstimator:
         return EstimationResult(
             estimate=estimate_series, prior=prior, errors=errors, prior_errors=prior_errors
         )
+
+    def _estimate_on_device(
+        self, backend, prior_vectors, device_matrix, device_observations, ingress, egress, n
+    ) -> np.ndarray:
+        """Refinement + IPF for one block of bins on a non-NumPy backend.
+
+        The prior block and marginals are shipped to the device once, every
+        stage runs there through the namespace-generic kernels, and only the
+        final ``(T, n, n)`` estimates come back to the host.
+        """
+        priors = backend.asarray(prior_vectors)
+        if self._method == "tomogravity":
+            refined = tomogravity_estimate(
+                priors, device_matrix, device_observations, backend=backend
+            )
+        else:
+            refined = entropy_estimate(
+                priors, device_matrix, device_observations, backend=backend
+            )
+        estimates = iterative_proportional_fitting_series(
+            backend.xp.reshape(refined, (int(priors.shape[0]), n, n)),
+            backend.asarray(ingress),
+            backend.asarray(egress),
+            max_iterations=self._ipf_iterations,
+            backend=backend,
+        )
+        return backend.to_numpy(estimates)
 
     def estimate_stream(
         self,
@@ -227,7 +284,11 @@ class TMEstimator:
             )
         n = system.n_nodes
         t = system.n_timesteps
-        matrix, observations = self._observation_system(system)
+        backend = self._resolve_backend()
+        matrix, observations = self._observation_system(system, backend)
+        if not backend.is_numpy:
+            # Ship the (fixed) observation operator once; chunks follow below.
+            device_matrix = backend.asarray(matrix)
 
         streams = [prior_stream]
         if ground_truth_stream is not None:
@@ -241,16 +302,27 @@ class TMEstimator:
             prior_block = blocks[0]
             stop = t0 + prior_block.shape[0]
             prior_vectors = prior_block.reshape(prior_block.shape[0], n * n)
-            if self._method == "tomogravity":
-                refined = tomogravity_estimate(prior_vectors, matrix, observations[t0:stop])
+            if not backend.is_numpy:
+                estimates = self._estimate_on_device(
+                    backend,
+                    prior_vectors,
+                    device_matrix,
+                    backend.asarray(observations[t0:stop]),
+                    system.ingress[t0:stop],
+                    system.egress[t0:stop],
+                    n,
+                )
             else:
-                refined = entropy_estimate(prior_vectors, matrix, observations[t0:stop])
-            estimates = iterative_proportional_fitting_series(
-                refined.reshape(-1, n, n),
-                system.ingress[t0:stop],
-                system.egress[t0:stop],
-                max_iterations=self._ipf_iterations,
-            )
+                if self._method == "tomogravity":
+                    refined = tomogravity_estimate(prior_vectors, matrix, observations[t0:stop])
+                else:
+                    refined = entropy_estimate(prior_vectors, matrix, observations[t0:stop])
+                estimates = iterative_proportional_fitting_series(
+                    refined.reshape(-1, n, n),
+                    system.ingress[t0:stop],
+                    system.egress[t0:stop],
+                    max_iterations=self._ipf_iterations,
+                )
             if collected is not None:
                 collected[t0:stop] = estimates
             if errors is not None:

@@ -20,6 +20,7 @@ datasets performs M synthesis runs, not N×M.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import sys
 import time
@@ -31,6 +32,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro._tables import format_rows
+from repro.backend import use_backend
 from repro.core.metrics import percent_improvement, summarize_improvement
 from repro.core.priors import (
     STREAMING_PRIOR_BUILDERS,
@@ -139,6 +141,8 @@ class ScenarioResult:
                 ["25th-75th percentile improvement %",
                  f"{summary['p25']:.3g} .. {summary['p75']:.3g}"],
             ]
+        if self.scenario.backend is not None:
+            rows.append(["backend", self.scenario.backend])
         rows.append(["runtime (s)", self.timing.get("total", float("nan"))])
         if self.scenario.stream:
             rows.append(["streamed chunk bins", self.timing.get("chunk_bins", "auto")])
@@ -227,12 +231,25 @@ class ScenarioRunner:
         scenario's weeks (parallel sweeps synthesize each grid column once in
         the parent and ship it to the workers); by default the shared
         :func:`load_dataset` cache is used.
+
+        ``scenario.backend`` selects the compute backend for the run: the
+        whole execution happens inside a :func:`repro.backend.use_backend`
+        context, so prior fitting (``fit_stable_fp``) and the estimator's
+        refinement/IPF stages run on that backend while synthesis stays on
+        the host.
         """
         scenario.validate()
-        if scenario.stream:
-            if dataset is not None:
-                raise ValidationError("streaming scenarios regenerate chunks; pass dataset=None")
-            return self._run_streaming(scenario)
+        with use_backend(scenario.backend):
+            if scenario.stream:
+                if dataset is not None:
+                    raise ValidationError(
+                        "streaming scenarios regenerate chunks; pass dataset=None"
+                    )
+                return self._run_streaming(scenario)
+            return self._run_in_memory(scenario, dataset=dataset)
+
+    def _run_in_memory(self, scenario: Scenario, *, dataset=None) -> ScenarioResult:
+        """The materialised (non-streaming) execution path of :meth:`run`."""
         prior_entry = PRIORS.entry(scenario.prior)
         estimator_factory = ESTIMATORS.get(scenario.estimator)
         calibration_week, target_week = self.resolve_weeks(scenario)
@@ -535,8 +552,11 @@ class ScenarioRunner:
 
         Every distinct dataset column is synthesized once here in the parent
         (through the shared :func:`load_dataset` cache) and handed to each
-        worker process at startup, so workers never re-synthesize — they
-        receive the arrays by pickle and spend their time on estimation.
+        worker process at startup, so workers never re-synthesize.  The bulky
+        week arrays travel through ``multiprocessing.shared_memory`` — W
+        workers map **one** copy of each column instead of unpickling W
+        private ones — with a transparent fallback to the historical pickle
+        path on platforms (or failures) where shared memory is unavailable.
         """
         datasets: dict[tuple, object] = {}
         keys: list[tuple | None] = []
@@ -555,11 +575,13 @@ class ScenarioRunner:
                     key = None
             keys.append(key)
         payloads = [(self._baseline, cell, key) for cell, key in zip(cells, keys)]
+        shm_payload, shm_blocks = _export_datasets_shm(datasets)
+        pickled = datasets if shm_payload is None else {}
         try:
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(cells)),
                 initializer=_init_sweep_worker,
-                initargs=(datasets,),
+                initargs=(pickled, shm_payload),
             ) as pool:
                 return list(pool.map(_run_sweep_cell, payloads))
         except (OSError, PermissionError, RuntimeError) as exc:
@@ -570,6 +592,93 @@ class ScenarioRunner:
                 stacklevel=3,
             )
             return [self._run_cell_guarded(cell) for cell in cells]
+        finally:
+            _release_shm_blocks(shm_blocks, unlink=True)
+
+
+# ---------------------------------------------------------------------------
+# shared-memory dataset shipping for parallel sweeps
+# ---------------------------------------------------------------------------
+
+def _export_datasets_shm(datasets: dict[tuple, object]):
+    """Move each dataset column's week arrays into shared-memory segments.
+
+    Returns ``(payload, blocks)`` where ``payload`` maps each synthesis-cache
+    key to ``(shell, weeks_meta)`` — the dataset with its ``weeks`` stripped
+    (everything else, topology and ground truths included, still pickles; it
+    is small) plus per-week ``(segment_name, shape, bin_seconds)`` tuples —
+    and ``blocks`` holds the parent's handles for cleanup after the pool
+    exits.  Returns ``(None, [])`` when shared memory is unavailable or any
+    allocation fails, which routes the sweep onto the pickle path.
+    """
+    if not datasets:
+        return {}, []
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - platform without shared memory
+        return None, []
+    blocks: list = []
+    payload: dict[tuple, tuple] = {}
+    try:
+        for key, data in datasets.items():
+            weeks_meta = []
+            for week in data.weeks:
+                values = np.ascontiguousarray(np.asarray(week.values, dtype=float))
+                segment = shared_memory.SharedMemory(create=True, size=max(values.nbytes, 1))
+                blocks.append(segment)
+                view = np.ndarray(values.shape, dtype=np.float64, buffer=segment.buf)
+                view[...] = values
+                weeks_meta.append((segment.name, values.shape, week.bin_seconds))
+            shell = dataclasses.replace(data, weeks=[])
+            payload[key] = (shell, weeks_meta)
+    except (OSError, ValueError, TypeError):  # pragma: no cover - exotic platforms
+        _release_shm_blocks(blocks, unlink=True)
+        return None, []
+    return payload, blocks
+
+
+def _release_shm_blocks(blocks, *, unlink: bool) -> None:
+    """Close (and optionally unlink) shared-memory handles, ignoring races."""
+    for segment in blocks:
+        try:
+            segment.close()
+            if unlink:
+                segment.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+            pass
+
+
+def _attach_shm_week(name: str, shape):
+    """Map one week out of a named shared-memory segment (zero copies).
+
+    Returns ``(values, segment)``; the caller must keep ``segment`` alive
+    for as long as the array is used.  The attach is untracked wherever the
+    stdlib allows it, so the worker's resource tracker does not try to unlink
+    segments the parent owns.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track flag
+        segment = shared_memory.SharedMemory(name=name)
+        # Under fork/forkserver the worker shares the parent's resource
+        # tracker, where the attach-register is an idempotent no-op and the
+        # parent's eventual unlink-unregister must stay balanced — touch
+        # nothing.  Under spawn the worker runs its own tracker, which would
+        # otherwise "clean up" (unlink) the parent's segments at worker
+        # shutdown; deregister the attach there.
+        try:
+            import multiprocessing
+
+            if multiprocessing.get_start_method(allow_none=True) == "spawn":
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
+        except Exception:  # noqa: BLE001 - tracker internals vary by version
+            pass
+    values = np.ndarray(shape, dtype=np.float64, buffer=segment.buf)
+    return values, segment
 
 
 # Dataset columns the parent synthesized for this worker process, keyed by
@@ -577,10 +686,32 @@ class ScenarioRunner:
 # initializer so each cell's payload only needs to carry the key.
 _WORKER_DATASETS: dict[tuple, object] = {}
 
+# Shared-memory handles this worker attached; referenced for the worker's
+# lifetime so the mapped week arrays stay valid.
+_WORKER_SHM_BLOCKS: list = []
 
-def _init_sweep_worker(datasets: dict[tuple, object]) -> None:
+
+def _init_sweep_worker(datasets: dict[tuple, object], shm_payload=None) -> None:
     _WORKER_DATASETS.clear()
     _WORKER_DATASETS.update(datasets)
+    # Symmetric cleanup: a re-initialised worker must drop (and unmap) the
+    # segments of any previous attach, or they stay mapped for its lifetime.
+    _release_shm_blocks(_WORKER_SHM_BLOCKS, unlink=False)
+    _WORKER_SHM_BLOCKS.clear()
+    if not shm_payload:
+        return
+    for key, (shell, weeks_meta) in shm_payload.items():
+        weeks = []
+        for name, shape, bin_seconds in weeks_meta:
+            values, segment = _attach_shm_week(name, shape)
+            _WORKER_SHM_BLOCKS.append(segment)
+            weeks.append(
+                TrafficMatrixSeries._from_validated(  # noqa: SLF001 - validated in the parent
+                    values, shell.topology.nodes, bin_seconds=bin_seconds
+                )
+            )
+        dataset = dataclasses.replace(shell, weeks=weeks)
+        _WORKER_DATASETS[key] = dataset
 
 
 def _run_sweep_cell(payload: tuple) -> tuple:

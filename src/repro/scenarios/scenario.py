@@ -14,6 +14,7 @@ from dataclasses import dataclass, fields
 
 from repro.errors import ValidationError
 from repro.registry import (
+    BACKENDS,
     DATASETS,
     ESTIMATORS,
     PRIORS,
@@ -70,6 +71,12 @@ class Scenario:
     chunk_bins:
         Chunk length (in bins) for streaming runs; ``None`` picks a size
         whose block fits a small fixed budget.
+    backend:
+        Registered compute backend (:mod:`repro.backend`) the run executes
+        on: prior fitting and the estimation stages run against that array
+        namespace (synthesis stays on the host; transfers happen at the
+        chunk boundaries).  ``None`` follows the ambient selection
+        (``REPRO_BACKEND`` environment variable, default ``numpy``).
     name:
         Optional human label; defaults to ``"<dataset>/<prior>"``.
     """
@@ -90,10 +97,11 @@ class Scenario:
     measured_forward_fraction: float | None = None
     stream: bool = False
     chunk_bins: int | None = None
+    backend: str | None = None
     name: str | None = None
 
     def __post_init__(self):
-        for component in ("dataset", "prior", "estimator", "topology"):
+        for component in ("dataset", "prior", "estimator", "topology", "backend"):
             value = getattr(self, component)
             if value is not None:
                 object.__setattr__(self, component, canonical_name(value))
@@ -114,6 +122,8 @@ class Scenario:
         ESTIMATORS.entry(self.estimator)
         if self.topology is not None:
             TOPOLOGIES.entry(self.topology)
+        if self.backend is not None:
+            BACKENDS.entry(self.backend)  # availability is checked at run time
         if self.calibration_week < 0:
             raise ValidationError("calibration_week must be >= 0")
         if self.target_week is not None and self.target_week < 0:

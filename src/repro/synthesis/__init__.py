@@ -27,9 +27,14 @@ from repro.synthesis.generator import (
     SyntheticTMConfig,
 )
 from repro.synthesis.datasets import (
+    StreamingDataset,
     SyntheticDataset,
+    load_dataset,
     make_geant_like_dataset,
     make_totem_like_dataset,
+    open_dataset_stream,
+    register_dataset_stream,
+    streamable_dataset_names,
 )
 
 __all__ = [
@@ -41,6 +46,11 @@ __all__ = [
     "ICTMGenerator",
     "GravityTMGenerator",
     "SyntheticDataset",
+    "StreamingDataset",
+    "load_dataset",
+    "open_dataset_stream",
+    "register_dataset_stream",
+    "streamable_dataset_names",
     "make_geant_like_dataset",
     "make_totem_like_dataset",
 ]

@@ -51,7 +51,10 @@ class TestRecordsAndWriter:
         assert current_revision()
 
     def test_environment_info_keys(self):
-        assert set(environment_info()) == {"python", "numpy", "platform"}
+        info = environment_info()
+        assert set(info) == {"python", "numpy", "platform", "backends"}
+        assert "numpy" in info["backends"]
+        assert info["backends"]["numpy"]["device"] == "cpu"
 
     def test_format_records_tabulates(self):
         table = format_records([BenchmarkRecord("kernel", 0.25, {"speedup": 3.0})])
@@ -83,6 +86,7 @@ class TestMicroBenchmarks:
         names = [record.name for record in records]
         assert names == [
             "ic_series_kernel",
+            "ic_series_backend",
             "routing_matrix",
             "ipf_series",
             "tomogravity_batch",
@@ -99,7 +103,9 @@ class TestBenchCLI:
         out = capsys.readouterr().out
         assert "ic_series_kernel" in out
         payload = json.loads((tmp_path / "BENCH_test.json").read_text())
-        assert len(payload["benchmarks"]) == 5
+        assert len(payload["benchmarks"]) == 6
+        by_name = {bench["name"]: bench for bench in payload["benchmarks"]}
+        assert "numpy" in by_name["ic_series_backend"]["extra_info"]["backends"]
 
     def test_bench_explicit_json_path(self, tmp_path):
         target = tmp_path / "snapshot.json"

@@ -138,3 +138,67 @@ class TestPreSynthesizedDatasets:
         assert len(parallel.results) == len(serial.results) == 2
         for serial_cell, parallel_cell in zip(serial.results, parallel.results):
             assert np.array_equal(serial_cell.errors, parallel_cell.errors)
+
+
+class TestSharedMemoryShipping:
+    """Dataset columns travel through multiprocessing.shared_memory."""
+
+    def test_export_attach_roundtrip_is_bitwise(self):
+        from repro.scenarios.runner import (
+            _attach_shm_week,
+            _export_datasets_shm,
+            _release_shm_blocks,
+        )
+        from repro.synthesis.datasets import load_dataset
+
+        data = load_dataset("geant", n_weeks=2, bins_per_week=36)
+        key = ("geant", 2, 36, False, None)
+        payload, blocks = _export_datasets_shm({key: data})
+        assert payload is not None and blocks
+        segments = []
+        try:
+            shell, weeks_meta = payload[key]
+            assert shell.weeks == [] and len(weeks_meta) == 2
+            for (name, shape, bin_seconds), week in zip(weeks_meta, data.weeks):
+                values, segment = _attach_shm_week(name, shape)
+                segments.append(segment)
+                assert bin_seconds == week.bin_seconds
+                assert np.array_equal(values, week.values)
+        finally:
+            _release_shm_blocks(segments, unlink=False)
+            _release_shm_blocks(blocks, unlink=True)
+
+    def test_worker_init_reconstructs_datasets_from_shm(self):
+        from repro.scenarios.runner import (
+            _WORKER_DATASETS,
+            _export_datasets_shm,
+            _init_sweep_worker,
+            _release_shm_blocks,
+        )
+        from repro.synthesis.datasets import load_dataset
+
+        data = load_dataset("geant", n_weeks=2, bins_per_week=36)
+        key = ("geant", 2, 36, False, None)
+        payload, blocks = _export_datasets_shm({key: data})
+        try:
+            _init_sweep_worker({}, payload)
+            rebuilt = _WORKER_DATASETS[key]
+            assert rebuilt.n_weeks == 2
+            assert rebuilt.topology.nodes == data.topology.nodes
+            for original, mapped in zip(data.weeks, rebuilt.weeks):
+                assert np.array_equal(original.values, mapped.values)
+                assert original.bin_seconds == mapped.bin_seconds
+        finally:
+            _init_sweep_worker({})
+            _release_shm_blocks(blocks, unlink=True)
+
+    def test_sweep_falls_back_to_pickle_when_shm_unavailable(self, monkeypatch):
+        import repro.scenarios.runner as runner_module
+
+        monkeypatch.setattr(runner_module, "_export_datasets_shm", lambda datasets: (None, []))
+        kwargs = dict(priors=("stable_f", "gravity"), datasets=("geant",), base=dict(SMALL))
+        serial = ScenarioRunner().sweep(jobs=1, **kwargs)
+        parallel = ScenarioRunner().sweep(jobs=2, **kwargs)
+        assert not parallel.failures
+        for serial_cell, parallel_cell in zip(serial.results, parallel.results):
+            assert np.array_equal(serial_cell.errors, parallel_cell.errors)
