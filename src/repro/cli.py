@@ -58,6 +58,13 @@ def _add_scenario_knobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset-seed", type=int, default=None,
                         help="override the dataset generation seed")
     _add_streaming_knobs(parser)
+    parser.add_argument("--spill-dir", default=None,
+                        help="out-of-core results for --stream runs: per-bin "
+                             "error series and the estimate cube are written "
+                             "as .npz shards under this run directory and "
+                             "loaded lazily (without it, runs spill "
+                             "automatically to a temporary directory once "
+                             "they reach the auto threshold)")
     _add_backend_knob(parser)
 
 
@@ -125,8 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Run every (prior, dataset) grid cell through the shared estimation "
             "pipeline.  With --jobs N the cells run in N parallel worker "
-            "processes; every cell carries its own deterministic seeds, so the "
-            "grid result is identical regardless of the worker count."
+            "processes on the shared-plan scheduler: each dataset column is "
+            "synthesized (or, with --stream, planned with checkpointed noise "
+            "states) once in the parent and shipped through shared memory, and "
+            "workers reuse the column's measurement system and baseline "
+            "estimate across its priors.  Every cell carries its own "
+            "deterministic seeds, so the grid result is identical regardless "
+            "of the worker count."
         ),
     )
     sweep.add_argument("--priors", nargs="+", default=("measured", "stable_fp", "stable_f"),
@@ -252,6 +264,7 @@ def _scenario_from_args(args: argparse.Namespace, *, dataset: str, prior: str) -
         measured_forward_fraction=getattr(args, "forward_fraction", None),
         stream=args.stream,
         chunk_bins=args.chunk_bins,
+        spill_dir=getattr(args, "spill_dir", None),
         backend=args.backend,
     )
 
@@ -282,6 +295,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"=== sweep: {len(args.priors)} priors x {len(args.datasets)} datasets "
           f"({len(result.results)}/{grid} cells ok) ===")
     print(result.format_table())
+    if args.timing:
+        print(result.format_summary())
     if args.timing and result.results:
         print()
         print(result.format_timing())

@@ -436,6 +436,12 @@ class StreamingPriorContext:
         Week indices into ``dataset``.
     measured_forward_fraction:
         Optional externally measured ``f``.
+    fit_cache_bytes:
+        Replay-cache budget handed to multi-pass fits
+        (:func:`repro.core.streaming.fit_stable_fp_streaming`): the ALS
+        passes of the ``stable_fp``/``measured`` priors regenerate their
+        calibration chunks once instead of once per pass, within this many
+        bytes.  ``None`` keeps fits strictly chunk-bounded.
     """
 
     dataset: object
@@ -444,6 +450,7 @@ class StreamingPriorContext:
     calibration_week: int
     target_week: int
     measured_forward_fraction: float | None = None
+    fit_cache_bytes: int | None = None
 
     def marginal_chunk_stream(self, chunk_values) -> object:
         """A prior stream computed chunk-wise from the system marginals.
@@ -519,7 +526,7 @@ def build_stable_fp_prior_stream(context: StreamingPriorContext):
     from repro.core.streaming import fit_stable_fp_streaming
 
     calibration = context.dataset.week_stream(context.calibration_week)
-    fit = fit_stable_fp_streaming(calibration)
+    fit = fit_stable_fp_streaming(calibration, cache_bytes=context.fit_cache_bytes)
     forward = float(fit.forward_fraction)
     preference = normalized(np.clip(fit.preference, 0.0, None), "preference")
     phi = ic_design_matrix(forward, preference)
@@ -540,7 +547,7 @@ def build_measured_prior_stream(context: StreamingPriorContext):
     from repro.core.streaming import fit_stable_fp_streaming
     from repro.streaming import FunctionChunkStream
 
-    fit = fit_stable_fp_streaming(context.target_stream)
+    fit = fit_stable_fp_streaming(context.target_stream, cache_bytes=context.fit_cache_bytes)
     forward = float(fit.forward_fraction)
     preference = normalized(np.clip(fit.preference, 0.0, None), "preference")
     activity = fit.activity

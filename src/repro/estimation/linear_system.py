@@ -16,9 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import sparse
 
-from repro.core.priors import marginal_operators
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.errors import ShapeError, ValidationError
 from repro.streaming import as_chunk_stream
@@ -79,12 +77,13 @@ class LinkLoadSystem:
         is never densified, which is what makes the augmented least squares
         viable at large ``n`` (the dense operator grows as ``n^3`` while its
         occupancy stays ``O(n^2 path_length)``).
+
+        The stacked operator is cached on the routing matrix
+        (:meth:`repro.topology.routing.RoutingMatrix.augmented_operator`), so
+        every system over the same (memoised) routing shares one copy; only
+        the observation stack ``Z`` is assembled per call.
         """
-        h, g, _ = marginal_operators(self.n_nodes, as_sparse=as_sparse)
-        if as_sparse:
-            b = sparse.vstack([self.routing.sparse, h, g], format="csr")
-        else:
-            b = np.vstack([self.routing.matrix, h, g])
+        b = self.routing.augmented_operator(as_sparse=as_sparse)
         z = np.concatenate([self.link_loads, self.ingress, self.egress], axis=1)
         return b, z
 

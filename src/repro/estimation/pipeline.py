@@ -247,6 +247,7 @@ class TMEstimator:
         *,
         ground_truth_stream=None,
         collect_estimate: bool = False,
+        chunk_sink=None,
     ) -> EstimationResult:
         """Run the pipeline chunk by chunk over a streamed prior.
 
@@ -270,6 +271,11 @@ class TMEstimator:
         collect_estimate:
             Materialise the estimated series on the result (costs the
             ``O(T n^2)`` cube the streaming path otherwise avoids).
+        chunk_sink:
+            Optional callable receiving every ``(t0, estimates_block)`` as it
+            is produced — the out-of-core alternative to
+            ``collect_estimate``: spill writers persist the blocks (e.g. as
+            ``.npz`` shards) without this process ever holding the cube.
         """
         from repro.streaming import as_chunk_stream, zip_chunks
 
@@ -325,6 +331,8 @@ class TMEstimator:
                 )
             if collected is not None:
                 collected[t0:stop] = estimates
+            if chunk_sink is not None:
+                chunk_sink(t0, estimates)
             if errors is not None:
                 truth_block = blocks[1]
                 errors[t0:stop] = rel_l2_temporal_error(truth_block, estimates)

@@ -22,18 +22,26 @@ available to every scenario and to the ``repro`` CLI.
 
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.runner import (
+    FIT_CACHE_BYTES,
     ScenarioResult,
     ScenarioRunner,
     SweepResult,
+    SweepSharedState,
     run_scenario,
     sweep,
 )
+from repro.scenarios.spill import SPILL_AUTO_MIN_BINS, SpilledSeries, SpillStore
 
 __all__ = [
     "Scenario",
     "ScenarioResult",
     "ScenarioRunner",
     "SweepResult",
+    "SweepSharedState",
+    "SpilledSeries",
+    "SpillStore",
+    "SPILL_AUTO_MIN_BINS",
+    "FIT_CACHE_BYTES",
     "run_scenario",
     "sweep",
 ]

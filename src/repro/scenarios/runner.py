@@ -13,9 +13,14 @@ combination:
 5. record per-bin errors, the per-bin improvement over the baseline, and
    per-stage timing.
 
-Because dataset synthesis is memoised in
-:func:`repro.synthesis.datasets.load_dataset`, a sweep over N priors and M
-datasets performs M synthesis runs, not N×M.
+Grid sweeps run on a shared-plan scheduler: every dataset column is
+synthesized (or, for streaming cells, *planned* — spatial draws, activity
+series and eagerly checkpointed noise-RNG states) exactly once in the
+parent and shipped to the workers through shared memory; cells are grouped
+by dataset column so each worker's :class:`SweepSharedState` reuses the
+column's measurement systems and gravity-baseline estimates across the
+priors it runs.  Results are deterministic and bit-identical to the serial
+in-memory sweep at any worker count.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import sys
+import tempfile
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -51,9 +57,31 @@ from repro.registry import (
     canonical_name,
 )
 from repro.scenarios.scenario import Scenario
-from repro.synthesis.datasets import load_dataset, open_dataset_stream
+from repro.scenarios.spill import SPILL_AUTO_MIN_BINS, SpillStore
+from repro.synthesis.datasets import (
+    load_dataset,
+    open_dataset_stream,
+    streaming_dataset_from_state,
+)
 
-__all__ = ["ScenarioResult", "ScenarioRunner", "SweepResult", "run_scenario", "sweep"]
+__all__ = [
+    "ScenarioResult",
+    "ScenarioRunner",
+    "SweepResult",
+    "SweepSharedState",
+    "run_scenario",
+    "sweep",
+    "FIT_CACHE_BYTES",
+]
+
+# Default replay-cache budget for multi-pass streaming fits (the stable-fP
+# ALS makes 2 passes per iteration): chunks of the calibration series are
+# regenerated once instead of once per pass, within this many bytes.  A
+# full-scale Geant week is ~8 MiB, so paper-scale fits cache whole weeks
+# while the budget still bounds the worst case.  Pass
+# ``ScenarioRunner(fit_cache_bytes=None)`` for the strictly chunk-bounded
+# pre-cache behaviour.
+FIT_CACHE_BYTES = 64 * 1024 * 1024
 
 
 def _peak_rss_mb() -> float | None:
@@ -68,6 +96,53 @@ def _peak_rss_mb() -> float | None:
     if sys.platform == "darwin":  # pragma: no cover - platform-specific
         peak /= 1024.0
     return float(peak) / 1024.0
+
+
+class SweepSharedState:
+    """Per-process reuse caches for the cells of one sweep.
+
+    Cells that share a dataset column, target week and measurement knobs
+    solve against the *same* measurement system, and every cell compared
+    against the same baseline prior re-derives the *same* baseline estimate.
+    This object memoises both — keyed by the full value tuple that
+    determines them — so a worker (or the serial path) computes each once
+    per column instead of once per cell.  Reuse returns the identical
+    arrays a fresh computation would produce, so results are bit-identical
+    to the unshared path; the ``*_builds`` counters exist so tests can prove
+    the sharing actually happens.
+    """
+
+    def __init__(self):
+        self.systems: dict[tuple, object] = {}
+        self.baselines: dict[tuple, object] = {}
+        self.system_builds = 0
+        self.baseline_builds = 0
+        self._pinned: list = []
+
+    def pin(self, anchor) -> None:
+        """Keep ``anchor`` alive while this state exists.
+
+        Cache keys embed ``id(anchor)`` (the dataset column's identity);
+        pinning guarantees a recycled id can never alias a different
+        column's entries for the lifetime of the sweep.
+        """
+        self._pinned.append(anchor)
+
+    def system(self, key: tuple, build):
+        cached = self.systems.get(key)
+        if cached is None:
+            cached = build()
+            self.system_builds += 1
+            self.systems[key] = cached
+        return cached
+
+    def baseline(self, key: tuple, build):
+        cached = self.baselines.get(key)
+        if cached is None:
+            cached = build()
+            self.baseline_builds += 1
+            self.baselines[key] = cached
+        return cached
 
 
 @dataclass
@@ -87,14 +162,22 @@ class ScenarioResult:
         per-bin error series are the deliverable).
     errors, prior_errors:
         Per-bin relative L2 error of the estimate and of the raw prior.
+        Spilled runs hold lazy :class:`~repro.scenarios.spill.SpilledSeries`
+        handles here instead of arrays; they load from their ``.npz`` shards
+        on first use.
     baseline_errors, baseline_prior_errors:
         Same two series for the baseline prior, when one was run.
     improvement:
         Per-bin percentage improvement over the baseline estimate.
+    spilled:
+        Extra out-of-core artifacts of a spilled run: with an explicit
+        ``spill_dir``, the chunk-sharded ``(T, n, n)`` ``"estimate"`` cube
+        (auto-spilled runs keep only the small error series on disk).
     timing:
         Seconds spent per stage: ``dataset``, ``prior``, ``estimation`` and
         ``total``, plus ``peak_rss_mb`` — the process's high-water resident
-        set size after the run (the number the streaming pipeline bounds).
+        set size after the run (the number the streaming pipeline bounds) —
+        and ``spill_dir`` when the run spilled.
     """
 
     scenario: Scenario
@@ -106,19 +189,20 @@ class ScenarioResult:
     baseline_errors: np.ndarray | None = None
     baseline_prior_errors: np.ndarray | None = None
     improvement: np.ndarray | None = None
+    spilled: dict[str, object] = field(default_factory=dict)
     timing: dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_error(self) -> float:
         """Mean per-bin error of the refined estimate."""
-        return float(np.mean(self.errors))
+        return float(np.mean(np.asarray(self.errors)))
 
     @property
     def mean_improvement(self) -> float:
         """Mean per-bin improvement over the baseline estimate."""
         if self.improvement is None:
             raise ValidationError("scenario was run without a baseline prior")
-        return float(np.mean(self.improvement))
+        return float(np.mean(np.asarray(self.improvement)))
 
     def format_table(self) -> str:
         """ASCII summary mirroring the experiment drivers' tables."""
@@ -129,13 +213,13 @@ class ScenarioResult:
             ["estimator", self.scenario.estimator],
             ["bins estimated", int(self.errors.shape[0])],
             ["mean estimation error", self.mean_error],
-            ["mean raw prior error", float(np.mean(self.prior_errors))],
+            ["mean raw prior error", float(np.mean(np.asarray(self.prior_errors)))],
         ]
         if self.improvement is not None:
-            summary = summarize_improvement(self.improvement)
+            summary = summarize_improvement(np.asarray(self.improvement))
             rows += [
                 [f"mean estimation error ({self.baseline_label} baseline)",
-                 float(np.mean(self.baseline_errors))],
+                 float(np.mean(np.asarray(self.baseline_errors)))],
                 ["mean improvement %", summary["mean"]],
                 ["median improvement %", summary["median"]],
                 ["25th-75th percentile improvement %",
@@ -146,6 +230,8 @@ class ScenarioResult:
         rows.append(["runtime (s)", self.timing.get("total", float("nan"))])
         if self.scenario.stream:
             rows.append(["streamed chunk bins", self.timing.get("chunk_bins", "auto")])
+        if self.timing.get("spill_dir"):
+            rows.append(["spill directory", self.timing["spill_dir"]])
         if self.timing.get("peak_rss_mb") is not None:
             rows.append(["peak RSS (MiB)", f"{self.timing['peak_rss_mb']:.1f}"])
         return format_rows(["quantity", "value"], rows)
@@ -160,10 +246,21 @@ class ScenarioRunner:
         Registered prior every run is compared against (default
         ``"gravity"``, the paper's baseline).  ``None`` disables the
         comparison, halving the estimation work.
+    fit_cache_bytes:
+        Replay-cache budget for multi-pass streaming fits (see
+        :data:`FIT_CACHE_BYTES`); ``None`` keeps streamed prior fits
+        strictly chunk-bounded, regenerating their chunks on every ALS pass
+        (the pre-cache behaviour, used as the benchmark baseline).
     """
 
-    def __init__(self, *, baseline_prior: str | None = "gravity"):
+    def __init__(
+        self,
+        *,
+        baseline_prior: str | None = "gravity",
+        fit_cache_bytes: int | None = FIT_CACHE_BYTES,
+    ):
         self._baseline = baseline_prior
+        self._fit_cache_bytes = fit_cache_bytes
 
     # -- week resolution ----------------------------------------------------
 
@@ -223,14 +320,20 @@ class ScenarioRunner:
     def _weeks_to_synthesize(scenario: Scenario, calibration_week: int, target_week: int) -> int:
         return max(max(calibration_week, target_week) + 1, scenario.n_weeks or 0)
 
-    def run(self, scenario: Scenario, *, dataset=None) -> ScenarioResult:
+    def run(self, scenario: Scenario, *, dataset=None, shared: SweepSharedState | None = None) -> ScenarioResult:
         """Execute one scenario and return its :class:`ScenarioResult`.
 
-        ``dataset`` optionally supplies a pre-synthesized
-        :class:`~repro.synthesis.datasets.SyntheticDataset` covering the
-        scenario's weeks (parallel sweeps synthesize each grid column once in
-        the parent and ship it to the workers); by default the shared
-        :func:`load_dataset` cache is used.
+        ``dataset`` optionally supplies a pre-built dataset covering the
+        scenario's weeks: a materialised
+        :class:`~repro.synthesis.datasets.SyntheticDataset` for in-memory
+        runs, or a :class:`~repro.synthesis.datasets.StreamingDataset`
+        (typically rebuilt from a shipped generation plan) for streaming
+        runs; by default the shared :func:`load_dataset` /
+        :func:`open_dataset_stream` caches are used.
+
+        ``shared`` supplies the per-process :class:`SweepSharedState` the
+        sweep scheduler uses to reuse measurement systems and baseline
+        estimates across cells; single runs normally leave it ``None``.
 
         ``scenario.backend`` selects the compute backend for the run: the
         whole execution happens inside a :func:`repro.backend.use_backend`
@@ -241,14 +344,62 @@ class ScenarioRunner:
         scenario.validate()
         with use_backend(scenario.backend):
             if scenario.stream:
-                if dataset is not None:
+                if dataset is not None and not hasattr(dataset, "week_stream"):
                     raise ValidationError(
-                        "streaming scenarios regenerate chunks; pass dataset=None"
+                        "streaming scenarios regenerate chunks; pass dataset=None "
+                        "or a pre-opened StreamingDataset"
                     )
-                return self._run_streaming(scenario)
-            return self._run_in_memory(scenario, dataset=dataset)
+                return self._run_streaming(scenario, data=dataset, shared=shared)
+            if dataset is not None and not hasattr(dataset, "weeks"):
+                raise ValidationError(
+                    "in-memory scenarios need a materialised SyntheticDataset; "
+                    "got a streaming dataset (set stream=True to use it)"
+                )
+            return self._run_in_memory(scenario, dataset=dataset, shared=shared)
 
-    def _run_in_memory(self, scenario: Scenario, *, dataset=None) -> ScenarioResult:
+    # -- shared-state keys ---------------------------------------------------
+
+    @staticmethod
+    def _system_key(scenario: Scenario, target_week: int, data) -> tuple:
+        """The value tuple determining a cell's simulated measurement system.
+
+        The dataset column's identity is the generation *plan* for streaming
+        datasets (wrapper objects are rebuilt per cell, the cached plan is
+        what actually determines the traffic) and the dataset object itself
+        for materialised ones; callers pin the anchor on the shared state so
+        its id cannot be recycled.
+        """
+        return (
+            scenario.stream,
+            scenario.dataset,
+            id(getattr(data, "plan", data)),
+            scenario.bins_per_week,
+            scenario.full_scale,
+            scenario.dataset_seed,
+            scenario.chunk_bins,
+            target_week,
+            scenario.max_bins,
+            scenario.measurement_noise,
+            scenario.seed,
+            scenario.topology,
+        )
+
+    def _is_baseline_prior(self, scenario: Scenario) -> bool:
+        """Whether the cell's scenario prior is the sweep's baseline prior."""
+        return self._baseline is not None and scenario.prior == canonical_name(self._baseline)
+
+    def _baseline_key(self, system_key: tuple, scenario: Scenario, calibration_week: int) -> tuple:
+        """The value tuple determining a cell's baseline estimation result."""
+        return (
+            system_key,
+            canonical_name(self._baseline),
+            scenario.estimator,
+            scenario.backend,
+            calibration_week,
+            scenario.measured_forward_fraction,
+        )
+
+    def _run_in_memory(self, scenario: Scenario, *, dataset=None, shared=None) -> ScenarioResult:
         """The materialised (non-streaming) execution path of :meth:`run`."""
         prior_entry = PRIORS.entry(scenario.prior)
         estimator_factory = ESTIMATORS.get(scenario.estimator)
@@ -277,9 +428,16 @@ class ScenarioRunner:
         target = data.week(target_week)
         if scenario.max_bins is not None and target.n_timesteps > scenario.max_bins:
             target = target[: scenario.max_bins]
-        system = simulate_link_loads(
-            topology, target, noise_std=scenario.measurement_noise, seed=scenario.seed
-        )
+        if shared is not None:
+            shared.pin(data)
+        system_key = self._system_key(scenario, target_week, data)
+
+        def build_system():
+            return simulate_link_loads(
+                topology, target, noise_std=scenario.measurement_noise, seed=scenario.seed
+            )
+
+        system = shared.system(system_key, build_system) if shared is not None else build_system()
         context = PriorContext(
             dataset=data,
             target=target,
@@ -290,21 +448,44 @@ class ScenarioRunner:
         )
 
         prior_started = time.perf_counter()
-        priors = {}
-        baseline_entry: RegistryEntry | None = None
-        if self._baseline is not None and scenario.prior != canonical_name(self._baseline):
-            baseline_entry = PRIORS.entry(self._baseline)
-            priors["baseline"] = baseline_entry.obj(context)
-        priors["scenario"] = prior_entry.obj(context)
+        estimator = estimator_factory()
+        sharing_main = shared is not None and self._is_baseline_prior(scenario)
+        prior = None if sharing_main else prior_entry.obj(context)
         prior_seconds = time.perf_counter() - prior_started
 
         estimation_started = time.perf_counter()
-        estimator = estimator_factory()
-        results = estimator.compare_priors(system, priors, target)
+        baseline_entry: RegistryEntry | None = None
+        baseline = None
+        if self._baseline is not None and scenario.prior != canonical_name(self._baseline):
+            baseline_entry = PRIORS.entry(self._baseline)
+
+            def build_baseline():
+                return estimator.estimate(
+                    system, baseline_entry.obj(context), ground_truth=target
+                )
+
+            if shared is not None:
+                baseline = shared.baseline(
+                    self._baseline_key(system_key, scenario, calibration_week), build_baseline
+                )
+            else:
+                baseline = build_baseline()
+
+        def build_main():
+            main_prior = prior if prior is not None else prior_entry.obj(context)
+            return estimator.estimate(system, main_prior, ground_truth=target)
+
+        if sharing_main:
+            # A cell whose scenario prior *is* the sweep baseline computes
+            # exactly the estimate its sibling cells use as their baseline;
+            # share one computation through the same memo.
+            main = shared.baseline(
+                self._baseline_key(system_key, scenario, calibration_week), build_main
+            )
+        else:
+            main = build_main()
         estimation_seconds = time.perf_counter() - estimation_started
 
-        main = results["scenario"]
-        baseline = results.get("baseline")
         improvement = None
         if baseline is not None:
             improvement = percent_improvement(baseline.errors, main.errors)
@@ -332,7 +513,27 @@ class ScenarioRunner:
             },
         )
 
-    def _run_streaming(self, scenario: Scenario) -> ScenarioResult:
+    @staticmethod
+    def _resolve_spill(scenario: Scenario, n_bins: int) -> tuple[SpillStore | None, bool]:
+        """The ``(store, spill_estimate)`` spill decision of a streaming run.
+
+        An explicit ``spill_dir`` always spills, *including* the
+        chunk-sharded estimate cube (each cell into a subdirectory named
+        after its label, so sweeps share one run directory).  Without one,
+        runs past :data:`~repro.scenarios.spill.SPILL_AUTO_MIN_BINS` bins
+        spill only their (small) per-bin error series into a fresh
+        temporary run directory — never the ``O(T n^2)`` estimate, which
+        the streaming path deliberately avoids materialising unless a run
+        directory was asked for explicitly.
+        """
+        if scenario.spill_dir is not None:
+            safe_label = scenario.label.replace("/", "-").replace(" ", "_")
+            return SpillStore(os.path.join(scenario.spill_dir, safe_label)), True
+        if n_bins >= SPILL_AUTO_MIN_BINS:
+            return SpillStore(tempfile.mkdtemp(prefix="repro-spill-")), False
+        return None, False
+
+    def _run_streaming(self, scenario: Scenario, *, data=None, shared=None) -> ScenarioResult:
         """Execute a scenario through the chunked streaming pipeline.
 
         Mirrors :meth:`run` stage by stage, but nothing ``(T, n, n)``-sized is
@@ -340,8 +541,16 @@ class ScenarioRunner:
         state, measurements are accumulated chunk-wise, priors are built as
         chunk streams, and the estimator consumes them via
         ``TMEstimator.estimate_stream``.  Peak memory is bounded by the chunk
-        size (plus the ``O(T (n_links + n))`` marginal series), not by the
-        series length — the regime month-scale full-mesh runs need.
+        size (plus the ``O(T (n_links + n))`` marginal series and any
+        fit-cache/spill buffers), not by the series length — the regime
+        month-scale full-mesh runs need.
+
+        ``data`` optionally supplies a pre-opened
+        :class:`~repro.synthesis.datasets.StreamingDataset` (the sweep
+        scheduler rebuilds one per worker from the parent's shipped
+        generation plan, so workers never re-plan or re-pay the noise-RNG
+        prefix); ``shared`` enables measurement-system and baseline reuse
+        across the cells of a sweep.
         """
         prior_entry = PRIORS.entry(scenario.prior)
         estimator_factory = ESTIMATORS.get(scenario.estimator)
@@ -362,21 +571,36 @@ class ScenarioRunner:
             )
 
         started = time.perf_counter()
-        data = open_dataset_stream(
-            scenario.dataset,
-            n_weeks=self._weeks_to_synthesize(scenario, calibration_week, target_week),
-            bins_per_week=scenario.bins_per_week,
-            full_scale=scenario.full_scale,
-            seed=scenario.dataset_seed,
-            chunk_bins=scenario.chunk_bins,
-        )
+        weeks_needed = self._weeks_to_synthesize(scenario, calibration_week, target_week)
+        if data is not None:
+            if data.n_weeks < weeks_needed:
+                raise ValidationError(
+                    f"pre-opened streaming dataset has {data.n_weeks} weeks but "
+                    f"the scenario needs {weeks_needed}"
+                )
+        else:
+            data = open_dataset_stream(
+                scenario.dataset,
+                n_weeks=weeks_needed,
+                bins_per_week=scenario.bins_per_week,
+                full_scale=scenario.full_scale,
+                seed=scenario.dataset_seed,
+                chunk_bins=scenario.chunk_bins,
+            )
         topology = self._resolve_topology(scenario, data)
         target_stream = data.week_stream(target_week, max_bins=scenario.max_bins)
         dataset_seconds = time.perf_counter() - started
 
-        system = simulate_link_loads_streaming(
-            topology, target_stream, noise_std=scenario.measurement_noise, seed=scenario.seed
-        )
+        if shared is not None:
+            shared.pin(data)
+        system_key = self._system_key(scenario, target_week, data)
+
+        def build_system():
+            return simulate_link_loads_streaming(
+                topology, target_stream, noise_std=scenario.measurement_noise, seed=scenario.seed
+            )
+
+        system = shared.system(system_key, build_system) if shared is not None else build_system()
         context = StreamingPriorContext(
             dataset=data,
             target_stream=target_stream,
@@ -384,30 +608,82 @@ class ScenarioRunner:
             calibration_week=calibration_week,
             target_week=target_week,
             measured_forward_fraction=scenario.measured_forward_fraction,
+            fit_cache_bytes=self._fit_cache_bytes,
         )
+        spill, spill_estimate = self._resolve_spill(scenario, target_stream.n_bins)
 
         prior_started = time.perf_counter()
-        priors = {}
-        if baseline_builder is not None:
-            priors["baseline"] = baseline_builder(context)
-        priors["scenario"] = scenario_builder(context)
+        prior_stream = scenario_builder(context)
         prior_seconds = time.perf_counter() - prior_started
 
         estimation_started = time.perf_counter()
-        results = {
-            name: estimator.estimate_stream(
-                system, prior_stream, ground_truth_stream=target_stream
+        baseline = None
+        if baseline_builder is not None:
+
+            def build_baseline():
+                return estimator.estimate_stream(
+                    system, baseline_builder(context), ground_truth_stream=target_stream
+                )
+
+            if shared is not None:
+                baseline = shared.baseline(
+                    self._baseline_key(system_key, scenario, calibration_week), build_baseline
+                )
+            else:
+                baseline = build_baseline()
+        estimate_writer = (
+            spill.writer("estimate") if spill is not None and spill_estimate else None
+        )
+
+        def build_main():
+            return estimator.estimate_stream(
+                system,
+                prior_stream,
+                ground_truth_stream=target_stream,
+                chunk_sink=estimate_writer,
             )
-            for name, prior_stream in priors.items()
-        }
+
+        if shared is not None and estimate_writer is None and self._is_baseline_prior(scenario):
+            # A cell whose scenario prior *is* the sweep baseline computes
+            # exactly the estimate its sibling cells use as their baseline;
+            # share one computation through the same memo.  (Runs writing
+            # estimate shards always execute, so the shards get written.)
+            main = shared.baseline(
+                self._baseline_key(system_key, scenario, calibration_week), build_main
+            )
+        else:
+            main = build_main()
         estimation_seconds = time.perf_counter() - estimation_started
 
-        main = results["scenario"]
-        baseline = results.get("baseline")
         improvement = None
         if baseline is not None:
             improvement = percent_improvement(baseline.errors, main.errors)
+        series = {
+            "errors": main.errors,
+            "prior_errors": main.prior_errors,
+            "baseline_errors": baseline.errors if baseline is not None else None,
+            "baseline_prior_errors": baseline.prior_errors if baseline is not None else None,
+            "improvement": improvement,
+        }
+        spilled: dict[str, object] = {}
+        if spill is not None:
+            series = {
+                name: spill.add_series(name, values) if values is not None else None
+                for name, values in series.items()
+            }
+            if estimate_writer is not None:
+                spilled["estimate"] = estimate_writer.finish()
         total_seconds = time.perf_counter() - started
+        timing = {
+            "dataset": dataset_seconds,
+            "prior": prior_seconds,
+            "estimation": estimation_seconds,
+            "total": total_seconds,
+            "chunk_bins": target_stream.chunk_bins,
+            "peak_rss_mb": _peak_rss_mb(),
+        }
+        if spill is not None:
+            timing["spill_dir"] = str(spill.directory)
         return ScenarioResult(
             scenario=scenario,
             prior_label=prior_entry.metadata.get("display", prior_entry.name),
@@ -417,19 +693,13 @@ class ScenarioRunner:
                 else None
             ),
             estimate=None,
-            errors=main.errors,
-            prior_errors=main.prior_errors,
-            baseline_errors=baseline.errors if baseline is not None else None,
-            baseline_prior_errors=baseline.prior_errors if baseline is not None else None,
-            improvement=improvement,
-            timing={
-                "dataset": dataset_seconds,
-                "prior": prior_seconds,
-                "estimation": estimation_seconds,
-                "total": total_seconds,
-                "chunk_bins": target_stream.chunk_bins,
-                "peak_rss_mb": _peak_rss_mb(),
-            },
+            errors=series["errors"],
+            prior_errors=series["prior_errors"],
+            baseline_errors=series["baseline_errors"],
+            baseline_prior_errors=series["baseline_prior_errors"],
+            improvement=series["improvement"],
+            spilled=spilled,
+            timing=timing,
         )
 
     @staticmethod
@@ -468,17 +738,26 @@ class ScenarioRunner:
         jobs:
             Number of worker processes running grid cells concurrently.
             ``1`` (the default) runs the cells serially in this process;
-            ``None`` uses one worker per CPU.  Results are deterministic
+            ``None`` uses one worker per CPU.  The pool is capped at the
+            host's CPU count (surplus workers cannot run concurrently and
+            would only split the column groups), and a single-worker pool
+            collapses to the in-process path.  Results are deterministic
             regardless of ``jobs``: every cell carries its own explicit
-            ``seed``/``dataset_seed``, and cells are collected in grid order,
-            so scheduling cannot change the outcome.  Each dataset column is
-            synthesized **once in the parent** and shipped to the workers
-            (pickled into each worker process at startup), so the grid pays
-            one synthesis per column rather than one per (worker, column);
-            workers only run the independent estimation pipelines.
+            ``seed``/``dataset_seed``, cells are scheduled in column groups
+            and collected in grid order, and the per-process reuse caches
+            return the identical arrays a fresh computation would, so
+            scheduling cannot change the outcome.  Each dataset column is
+            synthesized (in-memory cells) or planned with eagerly
+            checkpointed noise states (streaming cells) **once in the
+            parent** and shipped to the workers through shared memory, so
+            the grid pays one synthesis per column rather than one per
+            (worker, column); workers only run the estimation pipelines,
+            reusing the column's measurement system and baseline estimate
+            across its priors.
         overrides:
             Additional Scenario fields applied on top of ``base``.
         """
+        started = time.perf_counter()
         if not priors or not datasets:
             raise ValidationError("sweep needs at least one prior and one dataset")
         if isinstance(base, dict):
@@ -510,10 +789,17 @@ class ScenarioRunner:
         ]
         if jobs is None:
             jobs = os.cpu_count() or 1
-        if jobs > 1 and len(cells) > 1:
-            outcomes = self._sweep_parallel(cells, jobs)
+        # Worker processes beyond the CPUs that can actually run them buy no
+        # concurrency — they only pay fork/ship overhead and split column
+        # groups (duplicating the shared baseline work); cap the pool at the
+        # host's CPU count and collapse to the in-process shared path when
+        # only one worker could run.  Results are identical at any width.
+        workers = max(1, min(jobs, os.cpu_count() or jobs))
+        if workers > 1 and len(cells) > 1:
+            outcomes = self._sweep_parallel(cells, workers)
         else:
-            outcomes = [self._run_cell_guarded(cell) for cell in cells]
+            shared = SweepSharedState()
+            outcomes = [self._run_cell_guarded(cell, shared=shared) for cell in cells]
         results: list[ScenarioResult] = []
         failures: list[tuple[Scenario, str]] = []
         for cell, (result, message) in zip(cells, outcomes):
@@ -521,42 +807,98 @@ class ScenarioRunner:
                 results.append(result)
             else:
                 failures.append((cell, message))
+        wall = time.perf_counter() - started
+        worker_peaks = [
+            result.timing["peak_rss_mb"]
+            for result in results
+            if result.timing.get("peak_rss_mb") is not None
+        ]
+        timing = {
+            "total": wall,
+            "cells": len(cells),
+            "cells_per_second": len(cells) / wall if wall > 0 else float("nan"),
+            "peak_rss_mb": _peak_rss_mb(),
+            "worker_peak_rss_mb": max(worker_peaks) if worker_peaks else None,
+        }
         return SweepResult(
             priors=tuple(canonical_name(prior) for prior in priors),
             datasets=tuple(canonical_name(dataset) for dataset in datasets),
             results=results,
             failures=failures,
+            timing=timing,
         )
 
-    def _run_cell_guarded(self, cell: Scenario) -> tuple:
+    def _run_cell_guarded(self, cell: Scenario, *, dataset=None, shared=None) -> tuple:
         """Run one cell on this runner, wrapping failures like the workers do."""
         try:
-            return self.run(cell), None
+            return self.run(cell, dataset=dataset, shared=shared), None
         except Exception as exc:  # noqa: BLE001 - a cell failure should not kill the grid
             return None, f"{type(exc).__name__}: {exc}"
 
     @staticmethod
     def _dataset_key(cell: Scenario) -> tuple | None:
-        """The synthesis-cache key of a cell, or ``None`` when not shippable.
+        """The parent-side synthesis key of a cell, or ``None`` when not shippable.
 
-        Streaming cells regenerate chunks in the worker (shipping a cube
-        would defeat the point), and cells whose week requirements could not
-        be resolved fall back to the worker's own ``load_dataset`` path.
+        In-memory cells ship their materialised week cubes; streaming cells
+        ship the (much smaller) generation-plan state, keyed separately
+        because the plan also depends on the chunking.  Cells whose week
+        requirements could not be resolved fall back to the worker's own
+        dataset caches.
         """
-        if cell.stream or cell.n_weeks is None:
+        if cell.n_weeks is None:
             return None
+        if cell.stream:
+            return (
+                "stream",
+                cell.dataset,
+                cell.n_weeks,
+                cell.bins_per_week,
+                cell.full_scale,
+                cell.dataset_seed,
+                cell.chunk_bins,
+            )
         return (cell.dataset, cell.n_weeks, cell.bins_per_week, cell.full_scale, cell.dataset_seed)
+
+    @staticmethod
+    def _column_batches(items: list[tuple], jobs: int) -> list[list[tuple]]:
+        """Group ``(index, cell, key)`` items by dataset column, then split to fill ``jobs``.
+
+        Column grouping keeps every cell of a column on one worker, so the
+        worker's shared state reuses the column's measurement system and
+        baseline estimate; when there are fewer columns than workers the
+        largest groups are split (deterministically) until the workers are
+        occupied — reuse degrades gracefully, correctness never depends on
+        the grouping.
+        """
+        groups: dict[tuple, list[tuple]] = {}
+        for item in items:
+            _, cell, _ = item
+            column = (
+                cell.dataset, cell.n_weeks, cell.bins_per_week, cell.full_scale, cell.dataset_seed
+            )
+            groups.setdefault(column, []).append(item)
+        batches = list(groups.values())
+        while len(batches) < jobs and any(len(batch) > 1 for batch in batches):
+            largest_at = max(range(len(batches)), key=lambda at: len(batches[at]))
+            largest = batches.pop(largest_at)
+            half = (len(largest) + 1) // 2
+            batches.extend([largest[:half], largest[half:]])
+        return batches
 
     def _sweep_parallel(self, cells: list[Scenario], jobs: int) -> list[tuple]:
         """Run the grid cells in worker processes, preserving grid order.
 
-        Every distinct dataset column is synthesized once here in the parent
-        (through the shared :func:`load_dataset` cache) and handed to each
-        worker process at startup, so workers never re-synthesize.  The bulky
-        week arrays travel through ``multiprocessing.shared_memory`` — W
-        workers map **one** copy of each column instead of unpickling W
-        private ones — with a transparent fallback to the historical pickle
-        path on platforms (or failures) where shared memory is unavailable.
+        Every distinct dataset column is prepared once here in the parent —
+        in-memory columns through the shared :func:`load_dataset` cache,
+        streaming columns as a :class:`StreamingDataset` whose noise-state
+        checkpoints are populated eagerly — and handed to each worker
+        process at startup.  The bulky arrays (week cubes, or the plan's
+        activity series) travel through ``multiprocessing.shared_memory`` —
+        W workers map **one** copy of each column instead of unpickling W
+        private ones — with a transparent fallback to the pickle path on
+        platforms (or failures) where shared memory is unavailable.  Cells
+        are scheduled in column groups so each worker's shared state reuses
+        the column's measurement system and baseline estimate.
         """
         datasets: dict[tuple, object] = {}
         keys: list[tuple | None] = []
@@ -564,26 +906,42 @@ class ScenarioRunner:
             key = self._dataset_key(cell)
             if key is not None and key not in datasets:
                 try:
-                    datasets[key] = load_dataset(
-                        cell.dataset,
-                        n_weeks=cell.n_weeks,
-                        bins_per_week=cell.bins_per_week,
-                        full_scale=cell.full_scale,
-                        seed=cell.dataset_seed,
-                    )
+                    if cell.stream:
+                        datasets[key] = open_dataset_stream(
+                            cell.dataset,
+                            n_weeks=cell.n_weeks,
+                            bins_per_week=cell.bins_per_week,
+                            full_scale=cell.full_scale,
+                            seed=cell.dataset_seed,
+                            chunk_bins=cell.chunk_bins,
+                        ).checkpoint_noise()
+                    else:
+                        datasets[key] = load_dataset(
+                            cell.dataset,
+                            n_weeks=cell.n_weeks,
+                            bins_per_week=cell.bins_per_week,
+                            full_scale=cell.full_scale,
+                            seed=cell.dataset_seed,
+                        )
                 except Exception:  # noqa: BLE001 - the cell run will report it
                     key = None
             keys.append(key)
-        payloads = [(self._baseline, cell, key) for cell, key in zip(cells, keys)]
+        items = [(index, cell, key) for index, (cell, key) in enumerate(zip(cells, keys))]
+        batches = self._column_batches(items, jobs)
+        payloads = [(self._baseline, self._fit_cache_bytes, batch) for batch in batches]
         shm_payload, shm_blocks = _export_datasets_shm(datasets)
         pickled = datasets if shm_payload is None else {}
         try:
             with ProcessPoolExecutor(
-                max_workers=min(jobs, len(cells)),
+                max_workers=min(jobs, len(batches)),
                 initializer=_init_sweep_worker,
                 initargs=(pickled, shm_payload),
             ) as pool:
-                return list(pool.map(_run_sweep_cell, payloads))
+                outcomes: list[tuple] = [None] * len(cells)
+                for batch_results in pool.map(_run_sweep_batch, payloads):
+                    for index, result, message in batch_results:
+                        outcomes[index] = (result, message)
+                return outcomes
         except (OSError, PermissionError, RuntimeError) as exc:
             warnings.warn(
                 f"parallel sweep unavailable ({type(exc).__name__}: {exc}); "
@@ -591,7 +949,8 @@ class ScenarioRunner:
                 RuntimeWarning,
                 stacklevel=3,
             )
-            return [self._run_cell_guarded(cell) for cell in cells]
+            shared = SweepSharedState()
+            return [self._run_cell_guarded(cell, shared=shared) for cell in cells]
         finally:
             _release_shm_blocks(shm_blocks, unlink=True)
 
@@ -601,12 +960,20 @@ class ScenarioRunner:
 # ---------------------------------------------------------------------------
 
 def _export_datasets_shm(datasets: dict[tuple, object]):
-    """Move each dataset column's week arrays into shared-memory segments.
+    """Move each dataset column's bulky arrays into shared-memory segments.
 
-    Returns ``(payload, blocks)`` where ``payload`` maps each synthesis-cache
-    key to ``(shell, weeks_meta)`` — the dataset with its ``weeks`` stripped
-    (everything else, topology and ground truths included, still pickles; it
-    is small) plus per-week ``(segment_name, shape, bin_seconds)`` tuples —
+    Returns ``(payload, blocks)`` where ``payload`` maps each synthesis key
+    to one of
+
+    * ``("cube", shell, weeks_meta)`` — a materialised dataset with its
+      ``weeks`` stripped (everything else, topology and ground truths
+      included, still pickles; it is small) plus per-week
+      ``(segment_name, shape, bin_seconds)`` tuples, or
+    * ``("plan", state, arrays_meta)`` — a streaming dataset's generation
+      state (:class:`~repro.synthesis.datasets.StreamingDatasetState`) with
+      its plan arrays stripped, plus ``{field: (segment_name, shape)}`` for
+      the spatial/activity arrays,
+
     and ``blocks`` holds the parent's handles for cleanup after the pool
     exits.  Returns ``(None, [])`` when shared memory is unavailable or any
     allocation fails, which routes the sweep onto the pickle path.
@@ -617,20 +984,34 @@ def _export_datasets_shm(datasets: dict[tuple, object]):
         from multiprocessing import shared_memory
     except ImportError:  # pragma: no cover - platform without shared memory
         return None, []
+
     blocks: list = []
+
+    def export_array(values) -> tuple[str, tuple]:
+        values = np.ascontiguousarray(np.asarray(values, dtype=float))
+        segment = shared_memory.SharedMemory(create=True, size=max(values.nbytes, 1))
+        blocks.append(segment)
+        view = np.ndarray(values.shape, dtype=np.float64, buffer=segment.buf)
+        view[...] = values
+        return segment.name, values.shape
+
     payload: dict[tuple, tuple] = {}
     try:
         for key, data in datasets.items():
-            weeks_meta = []
-            for week in data.weeks:
-                values = np.ascontiguousarray(np.asarray(week.values, dtype=float))
-                segment = shared_memory.SharedMemory(create=True, size=max(values.nbytes, 1))
-                blocks.append(segment)
-                view = np.ndarray(values.shape, dtype=np.float64, buffer=segment.buf)
-                view[...] = values
-                weeks_meta.append((segment.name, values.shape, week.bin_seconds))
-            shell = dataclasses.replace(data, weeks=[])
-            payload[key] = (shell, weeks_meta)
+            if hasattr(data, "export_state"):
+                state = data.export_state()
+                arrays_meta = {
+                    name: export_array(getattr(state, name))
+                    for name in type(state).ARRAY_FIELDS
+                }
+                payload[key] = ("plan", state.strip_arrays(), arrays_meta)
+            else:
+                weeks_meta = []
+                for week in data.weeks:
+                    name, shape = export_array(week.values)
+                    weeks_meta.append((name, shape, week.bin_seconds))
+                shell = dataclasses.replace(data, weeks=[])
+                payload[key] = ("cube", shell, weeks_meta)
     except (OSError, ValueError, TypeError):  # pragma: no cover - exotic platforms
         _release_shm_blocks(blocks, unlink=True)
         return None, []
@@ -648,8 +1029,8 @@ def _release_shm_blocks(blocks, *, unlink: bool) -> None:
             pass
 
 
-def _attach_shm_week(name: str, shape):
-    """Map one week out of a named shared-memory segment (zero copies).
+def _attach_shm_array(name: str, shape):
+    """Map one array out of a named shared-memory segment (zero copies).
 
     Returns ``(values, segment)``; the caller must keep ``segment`` alive
     for as long as the array is used.  The attach is untracked wherever the
@@ -681,51 +1062,70 @@ def _attach_shm_week(name: str, shape):
     return values, segment
 
 
-# Dataset columns the parent synthesized for this worker process, keyed by
-# the synthesis-cache tuple; populated once per worker by the pool
-# initializer so each cell's payload only needs to carry the key.
+# Dataset columns the parent prepared for this worker process, keyed by
+# the synthesis key; populated once per worker by the pool initializer so
+# each cell's payload only needs to carry the key.
 _WORKER_DATASETS: dict[tuple, object] = {}
 
 # Shared-memory handles this worker attached; referenced for the worker's
-# lifetime so the mapped week arrays stay valid.
+# lifetime so the mapped arrays stay valid.
 _WORKER_SHM_BLOCKS: list = []
+
+# Per-worker reuse caches (measurement systems, baseline estimates); reset
+# by the pool initializer so state never leaks between sweeps.
+_WORKER_SHARED = SweepSharedState()
 
 
 def _init_sweep_worker(datasets: dict[tuple, object], shm_payload=None) -> None:
+    global _WORKER_SHARED
     _WORKER_DATASETS.clear()
     _WORKER_DATASETS.update(datasets)
+    _WORKER_SHARED = SweepSharedState()
     # Symmetric cleanup: a re-initialised worker must drop (and unmap) the
     # segments of any previous attach, or they stay mapped for its lifetime.
     _release_shm_blocks(_WORKER_SHM_BLOCKS, unlink=False)
     _WORKER_SHM_BLOCKS.clear()
     if not shm_payload:
         return
-    for key, (shell, weeks_meta) in shm_payload.items():
-        weeks = []
-        for name, shape, bin_seconds in weeks_meta:
-            values, segment = _attach_shm_week(name, shape)
-            _WORKER_SHM_BLOCKS.append(segment)
-            weeks.append(
-                TrafficMatrixSeries._from_validated(  # noqa: SLF001 - validated in the parent
-                    values, shell.topology.nodes, bin_seconds=bin_seconds
+    for key, (kind, shell, meta) in shm_payload.items():
+        if kind == "plan":
+            arrays = {}
+            for field_name, (name, shape) in meta.items():
+                values, segment = _attach_shm_array(name, shape)
+                _WORKER_SHM_BLOCKS.append(segment)
+                arrays[field_name] = values
+            _WORKER_DATASETS[key] = streaming_dataset_from_state(shell, arrays)
+        else:
+            weeks = []
+            for name, shape, bin_seconds in meta:
+                values, segment = _attach_shm_array(name, shape)
+                _WORKER_SHM_BLOCKS.append(segment)
+                weeks.append(
+                    TrafficMatrixSeries._from_validated(  # noqa: SLF001 - validated in the parent
+                        values, shell.topology.nodes, bin_seconds=bin_seconds
+                    )
                 )
-            )
-        dataset = dataclasses.replace(shell, weeks=weeks)
-        _WORKER_DATASETS[key] = dataset
+            _WORKER_DATASETS[key] = dataclasses.replace(shell, weeks=weeks)
 
 
-def _run_sweep_cell(payload: tuple) -> tuple:
-    """Execute one sweep cell; top-level so worker processes can pickle it.
+def _run_sweep_batch(payload: tuple) -> list[tuple]:
+    """Execute one column batch of sweep cells inside a worker process.
 
-    Returns ``(result, None)`` on success and ``(None, message)`` on failure,
-    so one singular configuration cannot sink a whole batch.
+    The cells of a batch share this worker's :class:`SweepSharedState`
+    (measurement systems, baseline estimates) and whatever dataset columns
+    the initializer attached; each returns ``(index, result, message)`` so
+    the parent can reassemble grid order across batches.
     """
-    baseline, cell, dataset_key = payload
-    dataset = _WORKER_DATASETS.get(dataset_key) if dataset_key is not None else None
-    try:
-        return ScenarioRunner(baseline_prior=baseline).run(cell, dataset=dataset), None
-    except Exception as exc:  # noqa: BLE001 - a cell failure should not kill the grid
-        return None, f"{type(exc).__name__}: {exc}"
+    baseline, fit_cache_bytes, items = payload
+    runner = ScenarioRunner(baseline_prior=baseline, fit_cache_bytes=fit_cache_bytes)
+    outcomes = []
+    for index, cell, dataset_key in items:
+        dataset = _WORKER_DATASETS.get(dataset_key) if dataset_key is not None else None
+        result, message = runner._run_cell_guarded(  # noqa: SLF001 - same-module helper
+            cell, dataset=dataset, shared=_WORKER_SHARED
+        )
+        outcomes.append((index, result, message))
+    return outcomes
 
 
 @dataclass
@@ -734,13 +1134,15 @@ class SweepResult:
 
     ``results`` holds the successful cells; ``failures`` pairs each failed
     scenario with its error message, so one singular configuration cannot
-    sink a whole batch.
+    sink a whole batch.  ``timing`` carries the sweep-level aggregates: wall
+    seconds, ``cells_per_second`` and the parent/worker peak RSS.
     """
 
     priors: tuple[str, ...]
     datasets: tuple[str, ...]
     results: list[ScenarioResult]
     failures: list[tuple[Scenario, str]]
+    timing: dict = field(default_factory=dict)
 
     def result_for(self, dataset: str, prior: str) -> ScenarioResult | None:
         """The cell for (dataset, prior), or ``None`` if it failed."""
@@ -770,6 +1172,19 @@ class SweepResult:
             lines += [f"  {scenario.label}: {message}" for scenario, message in self.failures]
             return "\n".join(lines)
         return table
+
+    def format_summary(self) -> str:
+        """One line of sweep-level throughput and memory aggregates."""
+        parts = []
+        if self.timing.get("total") is not None:
+            parts.append(f"wall {self.timing['total']:.2f}s")
+        if self.timing.get("cells_per_second") is not None:
+            parts.append(f"{self.timing['cells_per_second']:.2f} cells/s")
+        if self.timing.get("peak_rss_mb") is not None:
+            parts.append(f"parent peak RSS {self.timing['peak_rss_mb']:.1f} MiB")
+        if self.timing.get("worker_peak_rss_mb") is not None:
+            parts.append(f"max worker peak RSS {self.timing['worker_peak_rss_mb']:.1f} MiB")
+        return "; ".join(parts) if parts else "no sweep timing recorded"
 
     def format_timing(self) -> str:
         """Per-cell timing breakdown of the successful runs."""

@@ -71,6 +71,14 @@ class Scenario:
     chunk_bins:
         Chunk length (in bins) for streaming runs; ``None`` picks a size
         whose block fits a small fixed budget.
+    spill_dir:
+        Out-of-core results for streaming runs: per-bin error series (and
+        the estimate cube, chunk by chunk) are written as ``.npz`` shards
+        under this run directory, and the :class:`ScenarioResult` holds lazy
+        handles that load on first use.  ``None`` spills automatically — to
+        a fresh temporary run directory — once the estimated series reaches
+        :data:`repro.scenarios.spill.SPILL_AUTO_MIN_BINS` bins; in-memory
+        (non-streaming) runs never spill.
     backend:
         Registered compute backend (:mod:`repro.backend`) the run executes
         on: prior fitting and the estimation stages run against that array
@@ -97,6 +105,7 @@ class Scenario:
     measured_forward_fraction: float | None = None
     stream: bool = False
     chunk_bins: int | None = None
+    spill_dir: str | None = None
     backend: str | None = None
     name: str | None = None
 
@@ -138,6 +147,8 @@ class Scenario:
             raise ValidationError("measurement_noise must be >= 0")
         if self.chunk_bins is not None and self.chunk_bins < 1:
             raise ValidationError("chunk_bins must be >= 1 (or None for the default)")
+        if self.spill_dir is not None and not self.stream:
+            raise ValidationError("spill_dir only applies to streaming scenarios (set stream)")
         return self
 
     def to_dict(self) -> dict:

@@ -1,0 +1,184 @@
+"""Out-of-core scenario results: ``.npz`` shard spilling and lazy loading.
+
+Month-scale streamed runs keep only ``O(T)`` per-bin series in memory — but
+"only O(T)" stops being small once sweeps stack many cells of many-week
+series, and the ``(T, n, n)`` estimate cube cannot be materialised at all.
+This module gives the scenario runner an out-of-core results plane:
+
+* :class:`SpillStore` manages one run directory and writes any per-bin
+  series (error vectors, estimate cubes) as ``.npz`` shards of a bounded
+  number of bins each, either from a complete array or chunk by chunk
+  through a :class:`ShardWriter` sink;
+* :class:`SpilledSeries` is the lazy handle stored on
+  :class:`~repro.scenarios.runner.ScenarioResult` — it knows its shape and
+  shard paths up front, loads (and caches) the concatenated array only when
+  the values are actually consumed, and pickles as paths, so sweep workers
+  hand results to the parent without shipping the data.
+
+Shards are plain ``numpy.savez_compressed`` files named
+``<series>-<start>.npz`` with a single ``values`` array, so they are usable
+with nothing but numpy.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["SpilledSeries", "ShardWriter", "SpillStore", "SPILL_AUTO_MIN_BINS"]
+
+# A streamed run whose per-bin series reach this many bins spills them to
+# disk automatically (an explicit spill directory always spills).
+SPILL_AUTO_MIN_BINS = 4096
+
+
+class SpilledSeries:
+    """A lazy, picklable handle over a series spilled to ``.npz`` shards.
+
+    Behaves like an array where it matters (``shape``, ``len``,
+    ``np.asarray`` / any numpy reduction via ``__array__``, indexing) while
+    costing no memory until the values are first consumed; the loaded array
+    is cached on the instance but excluded from pickling.
+    """
+
+    def __init__(self, paths: list, shape: tuple):
+        self._paths = [Path(path) for path in paths]
+        self._shape = tuple(int(axis) for axis in shape)
+        self._loaded: np.ndarray | None = None
+
+    @property
+    def paths(self) -> tuple:
+        """The shard files backing this series, in bin order."""
+        return tuple(self._paths)
+
+    @property
+    def shape(self) -> tuple:
+        return self._shape
+
+    def __len__(self) -> int:
+        return self._shape[0]
+
+    def load(self) -> np.ndarray:
+        """Read and concatenate the shards (cached after the first call)."""
+        if self._loaded is None:
+            parts = []
+            for path in self._paths:
+                with np.load(path) as payload:
+                    parts.append(payload["values"])
+            values = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+            if values.shape != self._shape:
+                raise ValidationError(
+                    f"spilled shards reassemble to shape {values.shape}, "
+                    f"expected {self._shape}; was the spill directory modified?"
+                )
+            self._loaded = values
+        return self._loaded
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        values = self.load()
+        if dtype is not None and values.dtype != dtype:
+            return values.astype(dtype)
+        return values
+
+    def __getitem__(self, item):
+        return self.load()[item]
+
+    def __getstate__(self):
+        return {"paths": [str(path) for path in self._paths], "shape": self._shape}
+
+    def __setstate__(self, state):
+        self.__init__(state["paths"], state["shape"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpilledSeries(shape={self._shape}, shards={len(self._paths)})"
+
+
+class ShardWriter:
+    """Chunk sink that persists ``(t0, block)`` pairs as bounded shards.
+
+    Blocks are buffered until ``shard_bins`` bins accumulate, then flushed as
+    one ``.npz`` shard; peak memory is one shard, never the series.  Chunks
+    must arrive in bin order (which is how every streaming stage produces
+    them).  Call :meth:`finish` to flush the tail and obtain the
+    :class:`SpilledSeries` handle.
+    """
+
+    def __init__(self, directory: Path, name: str, *, shard_bins: int):
+        if shard_bins < 1:
+            raise ValidationError("shard_bins must be >= 1")
+        self._directory = Path(directory)
+        self._name = str(name)
+        self._shard_bins = int(shard_bins)
+        self._buffer: list[np.ndarray] = []
+        self._buffered = 0
+        self._written = 0
+        self._paths: list[Path] = []
+        self._item_shape: tuple | None = None
+
+    def __call__(self, t0: int, block: np.ndarray) -> None:
+        block = np.asarray(block)
+        if t0 != self._written + self._buffered:
+            raise ValidationError(
+                f"spill writer for {self._name!r} expected a chunk at bin "
+                f"{self._written + self._buffered}, got {t0}"
+            )
+        if self._item_shape is None:
+            self._item_shape = block.shape[1:]
+        self._buffer.append(block)
+        self._buffered += block.shape[0]
+        while self._buffered >= self._shard_bins:
+            self._flush(self._shard_bins)
+
+    def _flush(self, n_bins: int) -> None:
+        stacked = np.concatenate(self._buffer, axis=0) if len(self._buffer) > 1 else self._buffer[0]
+        shard, rest = stacked[:n_bins], stacked[n_bins:]
+        path = self._directory / f"{self._name}-{self._written:08d}.npz"
+        np.savez_compressed(path, values=shard)
+        self._paths.append(path)
+        self._written += shard.shape[0]
+        self._buffer = [rest] if rest.shape[0] else []
+        self._buffered = rest.shape[0]
+
+    def finish(self) -> SpilledSeries:
+        """Flush any buffered tail and return the lazy series handle."""
+        if self._buffered:
+            self._flush(self._buffered)
+        if self._written == 0:
+            raise ValidationError(f"spill writer for {self._name!r} received no chunks")
+        return SpilledSeries(self._paths, (self._written, *(self._item_shape or ())))
+
+
+class SpillStore:
+    """One run directory of spilled series shards.
+
+    Parameters
+    ----------
+    directory:
+        Where the shards live; created (including parents) if missing.
+    shard_bins:
+        Bins per shard for both :meth:`add_series` and :meth:`writer`.
+    """
+
+    def __init__(self, directory, *, shard_bins: int = 2048):
+        if shard_bins < 1:
+            raise ValidationError("shard_bins must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._shard_bins = int(shard_bins)
+
+    def writer(self, name: str) -> ShardWriter:
+        """A chunk sink persisting the named series shard by shard."""
+        return ShardWriter(self.directory, name, shard_bins=self._shard_bins)
+
+    def add_series(self, name: str, values) -> SpilledSeries:
+        """Spill a complete array and return its lazy handle."""
+        values = np.asarray(values)
+        if values.ndim < 1 or values.shape[0] < 1:
+            raise ValidationError("spilled series need at least one bin")
+        writer = self.writer(name)
+        for start in range(0, values.shape[0], self._shard_bins):
+            writer(start, values[start : start + self._shard_bins])
+        return writer.finish()

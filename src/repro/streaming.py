@@ -36,7 +36,9 @@ __all__ = [
     "ChunkStream",
     "ArrayChunkStream",
     "FunctionChunkStream",
+    "CachedChunkStream",
     "as_chunk_stream",
+    "cache_chunks",
     "iter_chunks",
     "default_chunk_bins",
     "zip_chunks",
@@ -212,6 +214,73 @@ class FunctionChunkStream(ChunkStream):
             raise ValidationError(
                 f"chunk stream ended early: covered {covered} of {self._n_bins} bins"
             )
+
+
+class CachedChunkStream(ChunkStream):
+    """A budget-bounded replay cache in front of a generative stream.
+
+    Multi-pass consumers (the streaming ALS fit makes two passes per
+    iteration) otherwise regenerate every chunk on every pass.  This wrapper
+    stores the blocks of the first pass — verbatim, so replayed passes are
+    bit-identical — until ``budget_bytes`` is reached; blocks beyond the
+    budget are regenerated from the inner stream on every pass.  Peak memory
+    is therefore bounded by ``budget_bytes`` plus one chunk, never by the
+    series length.
+
+    Wrapping an :class:`ArrayChunkStream` is a no-op at the
+    :func:`cache_chunks` level (its chunks are already free views); wrapping
+    copies nothing eagerly — the cache fills as the first pass progresses.
+    """
+
+    def __init__(self, inner: ChunkStream, *, budget_bytes: int):
+        if budget_bytes < 0:
+            raise ValidationError("budget_bytes must be non-negative")
+        super().__init__(
+            n_bins=inner.n_bins,
+            nodes=inner.nodes,
+            bin_seconds=inner.bin_seconds,
+            chunk_bins=inner.chunk_bins,
+        )
+        self._inner = inner
+        self._budget = int(budget_bytes)
+        self._cached: list[tuple[int, np.ndarray]] = []
+        self._cached_bytes = 0
+        self._cached_bins = 0
+        self._full = self._budget == 0
+
+    @property
+    def cached_bins(self) -> int:
+        """Number of leading bins currently held by the cache."""
+        return self._cached_bins
+
+    def chunks(self) -> Iterator[tuple[int, np.ndarray]]:
+        for t0, block in self._cached:
+            yield t0, block
+        if self._cached_bins >= self._n_bins:
+            return
+        for t0, block in self._inner.chunks():
+            if t0 + block.shape[0] <= self._cached_bins:
+                continue  # already served from the cache
+            if not self._full:
+                if self._cached_bytes + block.nbytes <= self._budget:
+                    self._cached.append((t0, block))
+                    self._cached_bytes += block.nbytes
+                    self._cached_bins = t0 + block.shape[0]
+                else:
+                    self._full = True
+            yield t0, block
+
+
+def cache_chunks(source, *, budget_bytes: int | None) -> ChunkStream:
+    """Wrap ``source`` in a :class:`CachedChunkStream` when it would help.
+
+    ``budget_bytes=None`` (or 0) disables caching; array-backed streams are
+    returned untouched because their chunks are already zero-cost views.
+    """
+    stream = as_chunk_stream(source)
+    if not budget_bytes or isinstance(stream, (ArrayChunkStream, CachedChunkStream)):
+        return stream
+    return CachedChunkStream(stream, budget_bytes=budget_bytes)
 
 
 def as_chunk_stream(

@@ -29,6 +29,7 @@ order, so their numbers are bit-identical):
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Iterator
@@ -51,11 +52,13 @@ from repro.topology.topology import Topology
 __all__ = [
     "SyntheticDataset",
     "StreamingDataset",
+    "StreamingDatasetState",
     "make_geant_like_dataset",
     "make_totem_like_dataset",
     "load_dataset",
     "open_dataset_stream",
     "register_dataset_stream",
+    "streaming_dataset_from_state",
     "streamable_dataset_names",
 ]
 
@@ -508,6 +511,50 @@ class StreamingDataset:
         """Week ``index`` materialised (compatibility with the cube path)."""
         return self.week_stream(index).materialize()
 
+    @property
+    def plan(self) -> GenerationPlan:
+        """The generation plan backing every stream of this dataset."""
+        return self._plan
+
+    def checkpoint_noise(self) -> "StreamingDataset":
+        """Eagerly populate the plan's noise-state checkpoints (chainable).
+
+        After this, any chunk read — including a fresh worker's first read at
+        an arbitrary week boundary — replays at most one state-cache stride
+        of noise draws instead of the whole prefix.
+        """
+        self._plan.checkpoint_noise_states()
+        return self
+
+    def export_state(self) -> "StreamingDatasetState":
+        """The complete, picklable generation state behind this dataset.
+
+        The returned state is what the sweep scheduler ships to worker
+        processes: the ``O(n^2)`` spatial parameters and ``O(T n)`` activity
+        series (the only sizeable arrays), the noise-state checkpoints, the
+        anomaly events and the scale knobs.  Rebuilding with
+        :func:`streaming_dataset_from_state` costs no RNG draws at all.
+        """
+        plan = self._plan
+        return StreamingDatasetState(
+            name=self.name,
+            topology=self.topology,
+            config=self._generator.config,
+            seed=self._generator._seed,  # noqa: SLF001 - same-module round-trip
+            n_weeks=self._n_weeks,
+            bins_per_week=self._bins_per_week,
+            chunk_bins=self._chunk_bins,
+            n_bins=plan.n_bins,
+            bin_seconds=plan.bin_seconds,
+            noise_sigma=plan.noise_sigma,
+            noise_states={k: copy.deepcopy(v) for k, v in plan.noise_states.items()},
+            anomalies=self._anomalies,
+            preference=plan.preference,
+            activity=plan.activity,
+            forward_fraction_matrix=plan.forward_fraction_matrix,
+            spatial_bias=plan.spatial_bias,
+        )
+
     def full_stream(self, *, chunk_bins: int | None = None) -> ChunkStream:
         """All weeks as one continuous chunk stream."""
         generator, plan = self._generator, self._plan
@@ -536,6 +583,91 @@ class StreamingDataset:
             bin_seconds=plan.bin_seconds,
             chunk_bins=self._chunk_bins if chunk_bins is None else chunk_bins,
         )
+
+
+@dataclass
+class StreamingDatasetState:
+    """Everything needed to rebuild a :class:`StreamingDataset` elsewhere.
+
+    The arrays are the plan's ``O(n^2)`` spatial parameters plus the
+    ``O(T n)`` activity series; :data:`ARRAY_FIELDS` names them so transports
+    (the sweep scheduler's shared-memory shipping) can move them out-of-band
+    and reattach zero-copy views before calling
+    :func:`streaming_dataset_from_state`.
+    """
+
+    name: str
+    topology: Topology
+    config: SyntheticTMConfig
+    seed: int
+    n_weeks: int
+    bins_per_week: int
+    chunk_bins: int
+    n_bins: int
+    bin_seconds: float
+    noise_sigma: float
+    noise_states: dict[int, dict]
+    anomalies: list[list[tuple[int, int, int, float]]]
+    preference: np.ndarray | None = None
+    activity: np.ndarray | None = None
+    forward_fraction_matrix: np.ndarray | None = None
+    spatial_bias: np.ndarray | None = None
+
+    ARRAY_FIELDS = ("preference", "activity", "forward_fraction_matrix", "spatial_bias")
+
+    def strip_arrays(self) -> "StreamingDatasetState":
+        """A copy with the array fields dropped (they travel out-of-band)."""
+        import dataclasses as _dc
+
+        return _dc.replace(
+            self, preference=None, activity=None, forward_fraction_matrix=None, spatial_bias=None
+        )
+
+
+def streaming_dataset_from_state(
+    state: StreamingDatasetState,
+    arrays: dict[str, np.ndarray] | None = None,
+) -> StreamingDataset:
+    """Rebuild a :class:`StreamingDataset` from shipped generation state.
+
+    ``arrays`` optionally supplies the plan arrays (e.g. shared-memory
+    views); fields already present on ``state`` win.  No RNG is consumed:
+    chunk reads resume from the shipped noise-state checkpoints, so the
+    rebuilt dataset is bit-identical to the one the state was exported from.
+    """
+    arrays = arrays or {}
+    resolved = {
+        field_name: (
+            getattr(state, field_name)
+            if getattr(state, field_name) is not None
+            else arrays.get(field_name)
+        )
+        for field_name in StreamingDatasetState.ARRAY_FIELDS
+    }
+    missing = sorted(name for name, value in resolved.items() if value is None)
+    if missing:
+        raise ValidationError(f"streaming dataset state is missing plan arrays: {missing}")
+    plan = GenerationPlan(
+        n_bins=state.n_bins,
+        bin_seconds=state.bin_seconds,
+        preference=resolved["preference"],
+        activity=resolved["activity"],
+        forward_fraction_matrix=resolved["forward_fraction_matrix"],
+        spatial_bias=resolved["spatial_bias"],
+        noise_sigma=state.noise_sigma,
+        noise_states=state.noise_states,
+    )
+    generator = ICTMGenerator(state.topology.nodes, state.config, seed=state.seed)
+    return StreamingDataset(
+        name=state.name,
+        topology=state.topology,
+        generator=generator,
+        plan=plan,
+        anomalies=state.anomalies,
+        n_weeks=state.n_weeks,
+        bins_per_week=state.bins_per_week,
+        chunk_bins=state.chunk_bins,
+    )
 
 
 # Chunk-stream openers for externally registered datasets, keyed by the

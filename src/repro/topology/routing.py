@@ -28,7 +28,12 @@ from scipy import sparse
 from repro.errors import ShapeError, TopologyError
 from repro.topology.topology import Topology
 
-__all__ = ["RoutingMatrix", "shortest_paths", "build_routing_matrix"]
+__all__ = [
+    "RoutingMatrix",
+    "shortest_paths",
+    "build_routing_matrix",
+    "clear_routing_cache",
+]
 
 
 def shortest_paths(topology: Topology, *, all_paths: bool = False) -> dict[tuple[str, str], list[list[str]]]:
@@ -92,6 +97,7 @@ class RoutingMatrix:
     def __init__(self, matrix, links: tuple, nodes: tuple[str, ...]):
         self._links = tuple(links)
         self._nodes = tuple(str(node) for node in nodes)
+        self._augmented: dict[bool, object] = {}
         if sparse.issparse(matrix):
             self._sparse: sparse.csr_matrix | None = matrix.tocsr()
             self._dense: np.ndarray | None = None
@@ -197,6 +203,28 @@ class RoutingMatrix:
             loads = flat @ self.matrix.T
         return np.asarray(loads).reshape(*traffic.shape[:-1], self.n_links)
 
+    def augmented_operator(self, *, as_sparse: bool = False):
+        """The stacked ``[R; H; G]`` observation operator, built once and cached.
+
+        ``H`` and ``G`` are the ingress/egress summing operators of
+        Section 6.2; the stack only depends on the routing matrix and the
+        node count, so it is shared by every measurement system over this
+        topology — a sweep's cells and priors all solve against one operator
+        instead of each re-stacking their own.
+        """
+        cached = self._augmented.get(bool(as_sparse))
+        if cached is None:
+            from repro.core.priors import marginal_operators
+
+            h, g, _ = marginal_operators(self.n_nodes, as_sparse=as_sparse)
+            if as_sparse:
+                cached = sparse.vstack([self.sparse, h, g], format="csr")
+            else:
+                cached = np.vstack([self.matrix, h, g])
+                cached.flags.writeable = False
+            self._augmented[bool(as_sparse)] = cached
+        return cached
+
     def rank(self) -> int:
         """Numerical rank of the routing matrix (always < n^2: the system is ill-posed)."""
         return int(np.linalg.matrix_rank(self.matrix))
@@ -208,8 +236,32 @@ class RoutingMatrix:
         )
 
 
+# Routing matrices memoised by topology content: Dijkstra plus matrix
+# assembly is pure in (nodes, links, ecmp), and a sweep's cells all route
+# over the same few topologies — sharing the instance also shares its lazily
+# cached dense/CSC forms and the stacked augmented operator.
+_ROUTING_CACHE: dict[tuple, RoutingMatrix] = {}
+_ROUTING_CACHE_MAX = 8
+
+
+def _topology_fingerprint(topology: Topology, ecmp: bool) -> tuple:
+    """A value key identifying a topology's routing problem exactly."""
+    return (tuple(topology.nodes), tuple(topology.links), bool(ecmp))
+
+
+def clear_routing_cache() -> None:
+    """Drop every memoised routing matrix (tests and benchmarks)."""
+    _ROUTING_CACHE.clear()
+
+
 def build_routing_matrix(topology: Topology, *, ecmp: bool = True) -> RoutingMatrix:
-    """Build the routing matrix of ``topology`` from IGP shortest paths.
+    """Build (or fetch the memoised) routing matrix of ``topology``.
+
+    The build is pure in the topology's nodes, links and weights, so results
+    are memoised by content: every measurement simulation over the same
+    network — each cell of a grid sweep, every prior of a scenario — shares
+    one :class:`RoutingMatrix` instance instead of re-running Dijkstra and
+    re-assembling the matrix per call.
 
     The matrix is assembled as sparse COO triplets from the per-origin
     shortest-path traversal and stored as CSR; equal-cost shares accumulate
@@ -225,6 +277,19 @@ def build_routing_matrix(topology: Topology, *, ecmp: bool = True) -> RoutingMat
         equal-cost shortest paths (fractional routing-matrix entries); when
         false a single shortest path carries all of it.
     """
+    key = _topology_fingerprint(topology, ecmp)
+    cached = _ROUTING_CACHE.get(key)
+    if cached is not None:
+        return cached
+    routing = _build_routing_matrix(topology, ecmp=ecmp)
+    if len(_ROUTING_CACHE) >= _ROUTING_CACHE_MAX:
+        _ROUTING_CACHE.pop(next(iter(_ROUTING_CACHE)))
+    _ROUTING_CACHE[key] = routing
+    return routing
+
+
+def _build_routing_matrix(topology: Topology, *, ecmp: bool = True) -> RoutingMatrix:
+    """The uncached routing build (see :func:`build_routing_matrix`)."""
     paths = shortest_paths(topology, all_paths=ecmp)
     links = topology.links
     link_index = {link.key: r for r, link in enumerate(links)}

@@ -22,6 +22,26 @@ from repro import benchmarking
 from repro.cli import main
 
 
+@pytest.fixture
+def small_sweep_grid(monkeypatch):
+    """Point the quick set's sweep-grid bench at a seconds-scale workload."""
+
+    original = benchmarking.bench_sweep_grid
+
+    def tiny(**_ignored):
+        return original(
+            priors=("gravity", "stable_f"),
+            datasets=("geant",),
+            bins_per_week=48,
+            max_bins=4,
+            jobs=2,
+            repeat=1,
+        )
+
+    monkeypatch.setattr(benchmarking, "bench_sweep_grid", tiny)
+    return tiny
+
+
 class TestRecordsAndWriter:
     def test_record_roundtrip(self):
         record = BenchmarkRecord("x", 0.5, {"speedup": 2.0})
@@ -81,7 +101,7 @@ class TestMicroBenchmarks:
         record = bench_routing_matrix(repeat=1)
         assert 0 < record.extra_info["nnz_density"] < 1
 
-    def test_run_benchmarks_quick_set(self):
+    def test_run_benchmarks_quick_set(self, small_sweep_grid):
         records = run_benchmarks(quick=True, repeat=1)
         names = [record.name for record in records]
         assert names == [
@@ -91,11 +111,22 @@ class TestMicroBenchmarks:
             "ipf_series",
             "tomogravity_batch",
             "streaming_synthesis",
+            "sweep_grid",
         ]
+
+    def test_bench_sweep_grid_record(self, small_sweep_grid):
+        record = small_sweep_grid()
+        assert record.name == "sweep_grid"
+        extra = record.extra_info
+        assert extra["matches_serial_bitwise"] is True
+        assert extra["cells"] == 2
+        assert extra["serial_stream_seconds"] > 0
+        assert extra["speedup_vs_serial_stream"] > 0
+        assert extra["worker_peak_rss_mb"] is None or extra["worker_peak_rss_mb"] > 0
 
 
 class TestBenchCLI:
-    def test_bench_quick_writes_file(self, tmp_path, capsys):
+    def test_bench_quick_writes_file(self, tmp_path, capsys, small_sweep_grid):
         exit_code = main(
             ["bench", "--quick", "--repeat", "1", "--output", str(tmp_path), "--rev", "test"]
         )
@@ -103,11 +134,12 @@ class TestBenchCLI:
         out = capsys.readouterr().out
         assert "ic_series_kernel" in out
         payload = json.loads((tmp_path / "BENCH_test.json").read_text())
-        assert len(payload["benchmarks"]) == 6
+        assert len(payload["benchmarks"]) == 7
         by_name = {bench["name"]: bench for bench in payload["benchmarks"]}
         assert "numpy" in by_name["ic_series_backend"]["extra_info"]["backends"]
+        assert by_name["sweep_grid"]["extra_info"]["matches_serial_bitwise"] is True
 
-    def test_bench_explicit_json_path(self, tmp_path):
+    def test_bench_explicit_json_path(self, tmp_path, small_sweep_grid):
         target = tmp_path / "snapshot.json"
         exit_code = main(
             ["bench", "--quick", "--repeat", "1", "--output", str(target), "--rev", "x"]

@@ -7,15 +7,21 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.scenarios import Scenario, ScenarioRunner
-from repro.scenarios.runner import _run_sweep_cell
+from repro.scenarios.runner import _run_sweep_batch
 
 SMALL = {"bins_per_week": 36, "max_bins": 4}
 
 
-class TestRunSweepCell:
+def _run_one_cell(baseline, scenario, key):
+    """Run a single cell through the worker batch entry point."""
+    [(_, result, message)] = _run_sweep_batch((baseline, None, [(0, scenario, key)]))
+    return result, message
+
+
+class TestRunSweepBatch:
     def test_success_returns_result(self):
         scenario = Scenario(dataset="geant", prior="stable_f", **SMALL)
-        result, message = _run_sweep_cell(("gravity", scenario, None))
+        result, message = _run_one_cell("gravity", scenario, None)
         assert message is None
         assert result.errors.shape[0] == 4
 
@@ -24,9 +30,19 @@ class TestRunSweepCell:
         scenario = Scenario(
             dataset="geant", prior="stable_f", measured_forward_fraction=0.5, **SMALL
         )
-        result, message = _run_sweep_cell(("gravity", scenario, None))
+        result, message = _run_one_cell("gravity", scenario, None)
         assert result is None
         assert "ValidationError" in message
+
+    def test_batch_preserves_indices_and_shares_state(self):
+        cells = [
+            Scenario(dataset="geant", prior=prior, n_weeks=2, target_week=1, **SMALL)
+            for prior in ("gravity", "stable_f")
+        ]
+        items = [(index + 5, cell, None) for index, cell in enumerate(cells)]
+        outcomes = _run_sweep_batch(("gravity", None, items))
+        assert [index for index, _, _ in outcomes] == [5, 6]
+        assert all(message is None for _, _, message in outcomes)
 
 
 class TestParallelSweep:
@@ -117,17 +133,20 @@ class TestPreSynthesizedDatasets:
         shipped = load_dataset("geant", n_weeks=2, bins_per_week=36, seed=777)
         _init_sweep_worker({key: shipped})
         try:
-            result, message = _run_sweep_cell(("gravity", cell, key))
+            result, message = _run_one_cell("gravity", cell, key)
             assert message is None
-            baseline, _ = _run_sweep_cell(("gravity", cell, None))
+            baseline, _ = _run_one_cell("gravity", cell, None)
             assert not np.allclose(result.errors, baseline.errors)
         finally:
             _init_sweep_worker({})
 
-    def test_streaming_cells_are_not_shipped(self):
+    def test_streaming_cells_ship_plan_keys(self):
         cell = Scenario(dataset="geant", prior="stable_f", n_weeks=2, stream=True, **SMALL)
-        assert ScenarioRunner._dataset_key(cell) is None
-        assert ScenarioRunner._dataset_key(cell.replace(stream=False, n_weeks=None)) is None
+        key = ScenarioRunner._dataset_key(cell)
+        assert key is not None and key[0] == "stream"
+        # Streamed and in-memory columns must never collide in the worker map.
+        assert key != ScenarioRunner._dataset_key(cell.replace(stream=False))
+        assert ScenarioRunner._dataset_key(cell.replace(n_weeks=None)) is None
 
     def test_parallel_sweep_ships_column_synthesis(self):
         # End to end: a 2-prior column over one dataset, two workers.  The
@@ -145,7 +164,7 @@ class TestSharedMemoryShipping:
 
     def test_export_attach_roundtrip_is_bitwise(self):
         from repro.scenarios.runner import (
-            _attach_shm_week,
+            _attach_shm_array,
             _export_datasets_shm,
             _release_shm_blocks,
         )
@@ -157,10 +176,11 @@ class TestSharedMemoryShipping:
         assert payload is not None and blocks
         segments = []
         try:
-            shell, weeks_meta = payload[key]
+            kind, shell, weeks_meta = payload[key]
+            assert kind == "cube"
             assert shell.weeks == [] and len(weeks_meta) == 2
             for (name, shape, bin_seconds), week in zip(weeks_meta, data.weeks):
-                values, segment = _attach_shm_week(name, shape)
+                values, segment = _attach_shm_array(name, shape)
                 segments.append(segment)
                 assert bin_seconds == week.bin_seconds
                 assert np.array_equal(values, week.values)
