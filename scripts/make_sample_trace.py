@@ -1,0 +1,60 @@
+"""Regenerate ``examples/sample_flows.csv``, the bundled service-mode trace.
+
+The trace is two hours of synthetic OD flow records over the 11-PoP Abilene
+topology (24 bins of 300 s, one record per OD pair per bin), produced from a
+seeded gravity-like volume model so the file is deterministic and small
+enough to commit.  The CI service-smoke job replays it through ``repro
+serve`` at high speed-up; the README's "Service mode" quickstart uses it
+too.
+
+Usage::
+
+    PYTHONPATH=src python scripts/make_sample_trace.py [output.csv]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.ingest.records import write_flow_csv
+from repro.topology.library import abilene_topology
+
+BIN_SECONDS = 300.0
+N_BINS = 24
+SEED = 1006
+
+
+def rows():
+    topology = abilene_topology()
+    nodes = topology.nodes
+    n = len(nodes)
+    rng = np.random.default_rng(SEED)
+    # Gravity-like structure: per-node masses with diurnal modulation and
+    # lognormal per-record noise, zero diagonal (no intra-PoP records).
+    mass = rng.lognormal(mean=0.0, sigma=0.6, size=n)
+    for bin_index in range(N_BINS):
+        level = 1.0 + 0.4 * np.sin(2 * np.pi * bin_index / N_BINS)
+        volumes = np.outer(mass, mass) * level * 1e6
+        volumes *= rng.lognormal(mean=0.0, sigma=0.25, size=(n, n))
+        time = bin_index * BIN_SECONDS
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                yield time, nodes[i], nodes[j], round(float(volumes[i, j]), 1)
+
+
+def main() -> int:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parent.parent / "examples" / "sample_flows.csv"
+    )
+    count = write_flow_csv(output, rows())
+    print(f"wrote {count} records ({N_BINS} bins x {BIN_SECONDS:.0f}s, Abilene) to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

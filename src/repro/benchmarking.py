@@ -51,6 +51,7 @@ __all__ = [
     "bench_ipf_series",
     "bench_tomogravity_batch",
     "bench_streaming_synthesis",
+    "bench_ingest_throughput",
     "bench_sweep_grid",
     "run_benchmarks",
     "run_pytest_benchmarks",
@@ -540,6 +541,48 @@ def bench_streaming_synthesis(*, bins: int = 288, repeat: int = 3) -> BenchmarkR
     )
 
 
+def bench_ingest_throughput(
+    *, bins: int = 64, records_per_pair: int = 4, repeat: int = 3
+) -> BenchmarkRecord:
+    """Records/sec and bins/sec through the live-ingestion binner.
+
+    Pre-materialises the record batches of a geant-scale synthetic feed
+    (so parsing/synthesis cost is excluded), then times
+    :class:`repro.ingest.FlowBinner` aggregating them — the vectorised
+    ``bincount`` scatter path ``repro serve`` runs on.  The service's
+    ingestion SLO (>=100k records/sec on the CI container) is asserted
+    against this record's ``records_per_sec``.
+    """
+    from repro.ingest import FlowBinner, SyntheticFlowSource
+    from repro.synthesis.datasets import open_dataset_stream
+
+    data = open_dataset_stream("geant", n_weeks=1, bins_per_week=max(bins, 2), chunk_bins=16)
+    stream = data.week_stream(0)
+    source = SyntheticFlowSource(stream, records_per_pair=records_per_pair)
+    batches = list(source.batches())
+    n_records = sum(len(batch) for batch in batches)
+
+    def ingest():
+        binner = FlowBinner(stream.nodes, bin_seconds=stream.bin_seconds, watermark_bins=1)
+        for batch in batches:
+            binner.push(batch)
+        binner.flush()
+        return binner
+
+    seconds = _best_of(ingest, repeat=repeat)
+    return BenchmarkRecord(
+        name="ingest_throughput",
+        wall_seconds=seconds,
+        extra_info={
+            "records": n_records,
+            "bins": int(stream.n_bins),
+            "records_per_pair": records_per_pair,
+            "records_per_sec": n_records / max(seconds, 1e-12),
+            "bins_per_sec": int(stream.n_bins) / max(seconds, 1e-12),
+        },
+    )
+
+
 def bench_sweep_grid(
     *,
     priors: tuple = ("gravity", "measured", "stable_f", "stable_fp"),
@@ -765,6 +808,7 @@ def run_benchmarks(
         bench_ipf_series(repeat=repeat),
         bench_tomogravity_batch(repeat=repeat),
         bench_streaming_synthesis(repeat=repeat),
+        bench_ingest_throughput(repeat=repeat),
         # The grid bench runs whole sweeps, not micro-kernels; cap its rounds
         # so --repeat scales it down but never past two interleaved rounds.
         bench_sweep_grid(repeat=min(max(1, repeat), 2)),

@@ -183,6 +183,85 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 0.25 = 25%%)")
     bench.set_defaults(handler=_cmd_bench)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the live flow-ingestion estimation service",
+        description=(
+            "Ingest a flow-record feed (a .csv/.jsonl trace replay or a "
+            "synthetic generator), bin it into per-bin OD matrices behind a "
+            "bounded watermark, and publish rolling traffic-matrix estimates "
+            "as JSONL.  The estimation stages are the batch pipeline's own "
+            "per-bin code, so a replayed week with a pinned prior reproduces "
+            "`repro estimate --stream` exactly.  SIGTERM stops the service "
+            "cleanly and writes a resumable checkpoint."
+        ),
+    )
+    serve.add_argument("--source", required=True,
+                       help="flow feed: a .csv/.jsonl trace file, or 'synthetic'")
+    serve.add_argument("--topology", default=None,
+                       help="registered topology naming the nodes and routing "
+                            "(required for file sources; synthetic defaults to "
+                            "the dataset's own)")
+    serve.add_argument("--dataset", default="geant",
+                       help="dataset behind --source synthetic")
+    serve.add_argument("--bins-per-week", type=int, default=None,
+                       help="synthetic scale: bins per generated week")
+    serve.add_argument("--n-weeks", type=int, default=1,
+                       help="synthetic scale: weeks to generate")
+    serve.add_argument("--dataset-seed", type=int, default=None,
+                       help="override the synthetic dataset generation seed")
+    serve.add_argument("--speedup", type=float, default=0.0,
+                       help="replay pacing: trace seconds per wall-clock second "
+                            "(0 = unpaced, as fast as the file parses)")
+    serve.add_argument("--batch-records", type=int, default=1024,
+                       help="records per replay batch (pacing and stop-check "
+                            "granularity for file sources)")
+    serve.add_argument("--bin-seconds", type=float, default=None,
+                       help="bin width (default: the dataset's for synthetic, "
+                            "300s for file sources)")
+    serve.add_argument("--chunk-bins", type=int, default=16,
+                       help="closed bins per estimation chunk (the publication cadence)")
+    serve.add_argument("--watermark-bins", type=int, default=1,
+                       help="out-of-order tolerance in whole bins before a bin "
+                            "closes; later records are dropped and counted")
+    serve.add_argument("--estimator", default="tomogravity",
+                       help="registered estimator refining the prior")
+    serve.add_argument("--prior", default="gravity",
+                       choices=["gravity", "stable_f", "stable_fp"],
+                       help="prior recipe for the refinement step")
+    serve.add_argument("--forward-fraction", type=float, default=None,
+                       help="pinned f for --prior stable_f (and the warm start "
+                            "of the first stable_fp fit)")
+    serve.add_argument("--refit-every", type=int, default=0,
+                       help="re-fit the stable_fp prior every K closed bins on "
+                            "the sliding window (0 = never re-fit)")
+    serve.add_argument("--window-bins", type=int, default=96,
+                       help="sliding fit-window length in bins")
+    serve.add_argument("--window-budget-mb", type=float, default=64.0,
+                       help="in-memory window budget before bins spill to .npz shards")
+    serve.add_argument("--spill-dir", default=None,
+                       help="directory for spilled window shards (default: a "
+                            "temporary directory)")
+    serve.add_argument("--sink", default="-",
+                       help="estimate output: a directory (gains estimates.jsonl), "
+                            "an explicit .jsonl path, or '-' for stdout")
+    serve.add_argument("--status-file", default=None,
+                       help="status snapshot JSON, rewritten after every chunk "
+                            "(default: <sink>/status.json for directory sinks)")
+    serve.add_argument("--checkpoint", default=None,
+                       help="resumable checkpoint path; if the file exists the "
+                            "service resumes from it (default: "
+                            "<sink>/checkpoint.json for directory sinks)")
+    serve.add_argument("--max-bins", type=int, default=0,
+                       help="stop after publishing this many bins (0 = run to "
+                            "the end of the feed)")
+    serve.add_argument("--measurement-noise", type=float, default=0.0,
+                       help="relative std of simulated SNMP noise on the binned "
+                            "measurements (deterministic per chunk)")
+    serve.add_argument("--seed", type=int, default=0, help="measurement-noise seed")
+    _add_backend_knob(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
     lister = subparsers.add_parser(
         "list", help="list registered components (priors, datasets, ...)"
     )
@@ -303,6 +382,92 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.results else USAGE_EXIT_CODE
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.backend import use_backend
+    from repro.ingest import FileReplaySource, IngestService, SyntheticFlowSource
+    from repro.registry import ESTIMATORS, TOPOLOGIES
+
+    if args.source == "synthetic":
+        from repro.synthesis.datasets import open_dataset_stream
+
+        data = open_dataset_stream(
+            args.dataset,
+            n_weeks=max(args.n_weeks, 1),
+            bins_per_week=args.bins_per_week,
+            seed=args.dataset_seed,
+            chunk_bins=args.chunk_bins,
+        )
+        topology = (
+            TOPOLOGIES.entry(args.topology).obj() if args.topology else data.topology
+        )
+        stream = data.full_stream(chunk_bins=args.chunk_bins)
+        source = SyntheticFlowSource(stream)
+        bin_seconds = args.bin_seconds or stream.bin_seconds
+    else:
+        if args.topology is None:
+            raise ReproError("--topology is required for file sources")
+        topology = TOPOLOGIES.entry(args.topology).obj()
+        bin_seconds = args.bin_seconds or 300.0
+        source = FileReplaySource(
+            args.source,
+            topology.nodes,
+            speedup=args.speedup,
+            batch_records=args.batch_records,
+        )
+
+    status_path, checkpoint_path = args.status_file, args.checkpoint
+    if args.sink not in (None, "-") and not str(args.sink).endswith(".jsonl"):
+        from pathlib import Path
+
+        sink_dir = Path(args.sink)
+        status_path = status_path or sink_dir / "status.json"
+        checkpoint_path = checkpoint_path or sink_dir / "checkpoint.json"
+
+    estimator = ESTIMATORS.entry(args.estimator).obj(backend=args.backend)
+    service = IngestService(
+        source,
+        topology,
+        estimator=estimator,
+        bin_seconds=bin_seconds,
+        watermark_bins=args.watermark_bins,
+        chunk_bins=args.chunk_bins,
+        prior=args.prior,
+        forward_fraction=args.forward_fraction,
+        refit_every=args.refit_every,
+        window_bins=args.window_bins,
+        window_budget_bytes=int(args.window_budget_mb * 1024 * 1024),
+        spill_dir=args.spill_dir,
+        measurement_noise=args.measurement_noise,
+        seed=args.seed,
+        sink=args.sink,
+        status_path=status_path,
+        checkpoint_path=checkpoint_path,
+        max_bins=args.max_bins if args.max_bins > 0 else None,
+    )
+    previous = {
+        sig: signal.signal(sig, service.request_stop)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        with use_backend(args.backend):
+            status = service.run()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    summary = status.to_dict()
+    print(
+        f"serve: published {summary['bins_published']} bins "
+        f"({summary['records_seen']} records, "
+        f"{summary['records_dropped_late']} dropped late, "
+        f"prior {summary['prior']['mode']} v{summary['prior']['version']})"
+        + (" [stopped by signal]" if status.stopped_by_signal else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     kinds = [args.kind] if args.kind else sorted(REGISTRIES)
     for index, kind in enumerate(kinds):
@@ -316,6 +481,15 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 from repro.backend import backend_available
 
                 state = "available" if backend_available(entry.name) else "not installed"
+                description = f"{description}  [{state}]"
+            if kind == "datasets":
+                from repro.synthesis.datasets import streamable_dataset_names
+
+                state = (
+                    "streamable"
+                    if entry.name in streamable_dataset_names()
+                    else "in-memory only"
+                )
                 description = f"{description}  [{state}]"
             print(f"  {entry.name:<14}{description}")
             if entry.metadata:
@@ -364,7 +538,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-_SUBCOMMANDS = frozenset({"run", "estimate", "sweep", "bench", "list", "-h", "--help"})
+_SUBCOMMANDS = frozenset(
+    {"run", "estimate", "sweep", "bench", "serve", "list", "-h", "--help"}
+)
 
 
 def _is_legacy_invocation(argv: list[str]) -> bool:

@@ -221,6 +221,7 @@ def fit_stable_fp_streaming(
     source,
     *,
     initial_forward_fraction: float = 0.25,
+    initial_preference=None,
     max_iterations: int = 60,
     tolerance: float = 1e-6,
     forward_bounds: tuple[float, float] = (0.0, 0.5),
@@ -246,6 +247,12 @@ def fit_stable_fp_streaming(
     per pass — same values, a fraction of the synthesis cost.  ``None``
     keeps the strictly chunk-bounded behaviour.
 
+    ``initial_preference`` warm-starts the ALS from a previous fit's
+    preference vector instead of the marginal-derived initialisation —
+    together with ``initial_forward_fraction`` this is the rolling re-fit
+    path of :mod:`repro.ingest`, where consecutive windows share most of
+    their bins and the previous optimum is an excellent starting point.
+
     Results agree with the in-memory fit to floating-point reduction order
     (the accumulated sums are mathematically identical but associate
     differently); exact bit-identity is not guaranteed.
@@ -265,6 +272,17 @@ def fit_stable_fp_streaming(
     base = SeriesAccumulator.from_source(stream)
     weights = 1.0 / np.maximum(base.bin_norms, _EPS)
     preference, activity = _initial_parameters_from_marginals(base.ingress, base.egress, f)
+    if initial_preference is not None:
+        warm = np.asarray(initial_preference, dtype=float)
+        if warm.shape != (n,):
+            raise ValidationError(
+                f"initial_preference must have shape ({n},), got {warm.shape}"
+            )
+        if np.any(warm < 0) or not np.all(np.isfinite(warm)) or warm.sum() <= 0:
+            raise ValidationError(
+                "initial_preference must be finite, non-negative and sum to > 0"
+            )
+        preference = warm / warm.sum()
     t_bins = stream.n_bins
 
     history: list[float] = []

@@ -1,0 +1,446 @@
+"""The publisher/service loop behind ``repro serve``.
+
+:class:`IngestService` wires the ingest planes together into a long-running
+estimator daemon: a :class:`~repro.ingest.sources.FlowSource` feeds a
+:class:`~repro.ingest.binner.FlowBinner`; every ``chunk_bins`` closed bins
+become one measurement chunk (link loads through the topology's routing
+matrix plus ingress/egress marginals — the same arithmetic as
+:func:`~repro.estimation.linear_system.simulate_link_loads_streaming`);
+the :class:`~repro.ingest.rolling.RollingFitManager`'s active prior and
+``TMEstimator.estimate_stream`` turn the chunk into per-bin estimates; and
+the publisher appends one JSONL record per bin to the sink.  Because every
+stage is the batch pipeline's own per-bin code, a replayed week with a
+pinned prior reproduces ``repro estimate --stream`` bit for bit — the
+service is the batch path with a feed in front, not a reimplementation.
+
+Operability:
+
+* a **status snapshot** (JSON) is rewritten after every published chunk:
+  ingestion counters, bins published, active fit (mode/f/version/age),
+  cumulative per-stage latency and peak RSS;
+* **SIGTERM/SIGINT** request a clean stop (:meth:`IngestService.request_stop`
+  is signal-handler compatible): the loop finishes its current batch,
+  publishes every already-closed bin, writes a **resumable checkpoint**
+  (next bin index, noise seed, fit state) and exits; starting a service
+  with the same checkpoint path resumes exactly where it stopped, skipping
+  replayed records from already-published bins;
+* optional simulated SNMP noise (``measurement_noise``) draws per-chunk
+  from ``default_rng([seed, chunk_start_bin])`` — deterministic per bin
+  range, so a resume never replays or skips noise draws.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.estimation.linear_system import LinkLoadSystem
+from repro.estimation.pipeline import TMEstimator
+from repro.ingest.binner import FlowBinner
+from repro.ingest.rolling import PRIOR_MODES, RollingFitManager
+from repro.streaming import ArrayChunkStream
+from repro.topology.routing import build_routing_matrix
+
+__all__ = ["IngestService", "ServiceStatus", "CHECKPOINT_FORMAT"]
+
+CHECKPOINT_FORMAT = "repro-ingest-checkpoint-v1"
+
+
+def peak_rss_mb() -> float | None:
+    """Peak resident set size of this process in MiB (None if unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1024.0 if sys.platform != "darwin" else 1024.0 * 1024.0
+    return float(peak) / scale
+
+
+@dataclass
+class ServiceStatus:
+    """The operational snapshot the service republishes after every chunk."""
+
+    bins_published: int = 0
+    next_bin: int = 0
+    records_seen: int = 0
+    records_binned: int = 0
+    records_dropped_late: int = 0
+    records_skipped: int = 0
+    open_bins: int = 0
+    prior_mode: str = "gravity"
+    prior_version: int = 0
+    fit_forward_fraction: float | None = None
+    fit_age_bins: int | None = None
+    refits: int = 0
+    stage_seconds: dict = field(default_factory=dict)
+    peak_rss_mb: float | None = None
+    stopped_by_signal: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "bins_published": self.bins_published,
+            "next_bin": self.next_bin,
+            "records_seen": self.records_seen,
+            "records_binned": self.records_binned,
+            "records_dropped_late": self.records_dropped_late,
+            "records_skipped": self.records_skipped,
+            "open_bins": self.open_bins,
+            "prior": {
+                "mode": self.prior_mode,
+                "version": self.prior_version,
+                "forward_fraction": self.fit_forward_fraction,
+                "age_bins": self.fit_age_bins,
+                "refits": self.refits,
+            },
+            "stage_seconds": {k: round(v, 6) for k, v in self.stage_seconds.items()},
+            "peak_rss_mb": None if self.peak_rss_mb is None else round(self.peak_rss_mb, 1),
+            "stopped_by_signal": self.stopped_by_signal,
+        }
+
+
+class _Publisher:
+    """JSONL estimate sink: a file in a sink directory, or stdout (``-``)."""
+
+    def __init__(self, sink):
+        self._handle = None
+        self._own = False
+        if sink is None or sink == "-":
+            self._handle = sys.stdout
+        else:
+            path = Path(sink)
+            if path.suffix != ".jsonl":
+                path.mkdir(parents=True, exist_ok=True)
+                path = path / "estimates.jsonl"
+            else:
+                path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = path.open("a", encoding="utf-8")
+            self._own = True
+            self.path = path
+
+    def publish(self, record: dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._own:
+            self._handle.close()
+
+
+class IngestService:
+    """The live ingestion + rolling estimation daemon (see module docstring).
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.ingest.sources.FlowSource`.
+    topology:
+        The :class:`~repro.topology.Topology` whose node ordering the
+        source's records index and whose routing matrix turns bins into
+        link loads.
+    estimator:
+        A :class:`~repro.estimation.pipeline.TMEstimator` (default:
+        tomogravity with marginals).
+    bin_seconds, watermark_bins:
+        Binner geometry (see :class:`~repro.ingest.binner.FlowBinner`).
+    chunk_bins:
+        Closed bins per estimation chunk — the publication cadence.
+    prior, forward_fraction, refit_every, window_bins, window_budget_bytes,
+    spill_dir:
+        Rolling-fit configuration (see
+        :class:`~repro.ingest.rolling.RollingFitManager`).
+    measurement_noise, seed:
+        Optional simulated SNMP noise (relative std) applied to each
+        chunk's measurements with a per-chunk deterministic RNG.
+    sink, status_path, checkpoint_path:
+        Output plumbing.  ``sink`` is a directory (gains
+        ``estimates.jsonl``), an explicit ``.jsonl`` path, or ``-``/None
+        for stdout.  ``checkpoint_path`` enables resume: if the file exists
+        at start the service continues from its ``next_bin``.
+    max_bins:
+        Stop after publishing this many bins (None = run to end of source).
+    """
+
+    def __init__(
+        self,
+        source,
+        topology,
+        *,
+        estimator: TMEstimator | None = None,
+        bin_seconds: float = 300.0,
+        watermark_bins: int = 1,
+        chunk_bins: int = 16,
+        prior: str = "gravity",
+        forward_fraction: float | None = None,
+        refit_every: int = 0,
+        window_bins: int = 96,
+        window_budget_bytes: int | None = None,
+        spill_dir=None,
+        measurement_noise: float = 0.0,
+        seed: int = 0,
+        sink=None,
+        status_path=None,
+        checkpoint_path=None,
+        max_bins: int | None = None,
+        origin: float = 0.0,
+    ):
+        if tuple(source.nodes) != tuple(topology.nodes):
+            raise ValidationError(
+                "source and topology disagree on node ordering; "
+                f"source has {len(source.nodes)} nodes, topology {len(topology.nodes)}"
+            )
+        if chunk_bins < 1:
+            raise ValidationError("chunk_bins must be >= 1")
+        if measurement_noise < 0:
+            raise ValidationError("measurement_noise must be >= 0")
+        if prior not in PRIOR_MODES:
+            raise ValidationError(f"unknown prior mode {prior!r}; choose from {PRIOR_MODES}")
+        self._source = source
+        self._topology = topology
+        self._estimator = estimator or TMEstimator()
+        self._bin_seconds = float(bin_seconds)
+        self._watermark_bins = int(watermark_bins)
+        self._chunk_bins = int(chunk_bins)
+        self._noise_std = float(measurement_noise)
+        self._seed = int(seed)
+        self._sink = sink
+        self._status_path = Path(status_path) if status_path else None
+        self._checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self._max_bins = int(max_bins) if max_bins else None
+        self._origin = float(origin)
+        self._stop_requested = False
+        self._start_bin = 0
+        fit_kwargs = {}
+        resumed_fit = None
+        if self._checkpoint_path is not None and self._checkpoint_path.exists():
+            resumed_fit = self._load_checkpoint()
+        manager_kwargs = dict(
+            bin_seconds=bin_seconds,
+            mode=prior,
+            forward_fraction=forward_fraction,
+            refit_every=refit_every,
+            window_bins=window_bins,
+            spill_dir=spill_dir,
+            fit_kwargs=fit_kwargs,
+        )
+        if window_budget_bytes is not None:
+            manager_kwargs["window_budget_bytes"] = int(window_budget_bytes)
+        self._fits = RollingFitManager(topology.nodes, **manager_kwargs)
+        if resumed_fit is not None:
+            self._fits.pin(
+                forward_fraction=resumed_fit["forward_fraction"],
+                preference=np.asarray(resumed_fit["preference"], dtype=float),
+            )
+        self.status = ServiceStatus(next_bin=self._start_bin)
+
+    # -- control -------------------------------------------------------------
+
+    def request_stop(self, signum=None, frame=None) -> None:
+        """Ask the loop to stop after the current batch (signal-handler safe)."""
+        self._stop_requested = True
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _load_checkpoint(self):
+        payload = json.loads(self._checkpoint_path.read_text())
+        if payload.get("format") != CHECKPOINT_FORMAT:
+            raise ValidationError(
+                f"unrecognised checkpoint format in {self._checkpoint_path}: "
+                f"{payload.get('format')!r}"
+            )
+        self._start_bin = int(payload["next_bin"])
+        noise = payload.get("noise", {})
+        if noise and abs(float(noise.get("std", 0.0)) - self._noise_std) > 1e-12:
+            raise ValidationError(
+                "checkpoint noise std does not match this service's "
+                f"--measurement-noise ({noise.get('std')} vs {self._noise_std})"
+            )
+        fit = payload.get("fit")
+        if fit and fit.get("preference") is not None:
+            return fit
+        return None
+
+    def _write_checkpoint(self) -> None:
+        if self._checkpoint_path is None:
+            return
+        active = self._fits.active
+        fit = None
+        if active.mode == "stable_fp" and active.preference is not None:
+            fit = {
+                "forward_fraction": active.forward_fraction,
+                "preference": [float(v) for v in active.preference],
+                "version": active.version,
+            }
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "next_bin": self.status.next_bin,
+            "bin_seconds": self._bin_seconds,
+            "origin": self._origin,
+            "noise": {"std": self._noise_std, "seed": self._seed},
+            "fit": fit,
+            "counters": {
+                "records_seen": self.status.records_seen,
+                "records_dropped_late": self.status.records_dropped_late,
+            },
+        }
+        self._checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._checkpoint_path.with_suffix(self._checkpoint_path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2))
+        tmp.replace(self._checkpoint_path)
+
+    # -- status --------------------------------------------------------------
+
+    def _write_status(self, binner: FlowBinner) -> None:
+        counters = binner.counters()
+        status = self.status
+        status.records_seen = counters["records_seen"]
+        status.records_binned = counters["records_binned"]
+        status.records_dropped_late = counters["records_dropped_late"]
+        status.records_skipped = counters["records_skipped"]
+        status.open_bins = counters["open_bins"]
+        active = self._fits.active
+        status.prior_mode = active.mode
+        status.prior_version = active.version
+        status.fit_forward_fraction = active.forward_fraction
+        status.fit_age_bins = self._fits.fit_age_bins()
+        status.refits = self._fits.refits
+        status.peak_rss_mb = peak_rss_mb()
+        if self._status_path is not None:
+            self._status_path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self._status_path.with_suffix(self._status_path.suffix + ".tmp")
+            tmp.write_text(json.dumps(status.to_dict(), indent=2))
+            tmp.replace(self._status_path)
+
+    # -- the loop ------------------------------------------------------------
+
+    def _process_chunk(self, start_bin: int, matrices: list, publisher: _Publisher) -> None:
+        timings = self.status.stage_seconds
+        n = len(self._topology.nodes)
+        block = np.stack(matrices)
+        t_chunk = block.shape[0]
+
+        started = time.perf_counter()
+        link_loads = block.reshape(t_chunk, n * n) @ self._routing_t
+        ingress = block.sum(axis=2)
+        egress = block.sum(axis=1)
+        if self._noise_std > 0:
+            rng = np.random.default_rng([self._seed, int(start_bin)])
+            link_loads = link_loads * rng.normal(1.0, self._noise_std, size=link_loads.shape)
+            ingress = ingress * rng.normal(1.0, self._noise_std, size=ingress.shape)
+            egress = egress * rng.normal(1.0, self._noise_std, size=egress.shape)
+        system = LinkLoadSystem(
+            routing=self._routing, link_loads=link_loads, ingress=ingress, egress=egress
+        )
+        timings["measure"] = timings.get("measure", 0.0) + time.perf_counter() - started
+
+        started = time.perf_counter()
+        active = self._fits.active
+        prior_block = self._fits.prior_values(ingress, egress)
+        prior_stream = ArrayChunkStream(
+            prior_block,
+            self._topology.nodes,
+            bin_seconds=self._bin_seconds,
+            chunk_bins=t_chunk,
+        )
+        timings["prior"] = timings.get("prior", 0.0) + time.perf_counter() - started
+
+        started = time.perf_counter()
+        result = self._estimator.estimate_stream(system, prior_stream, collect_estimate=True)
+        timings["estimate"] = timings.get("estimate", 0.0) + time.perf_counter() - started
+
+        started = time.perf_counter()
+        estimates = result.estimate.values
+        for offset in range(t_chunk):
+            index = start_bin + offset
+            publisher.publish(
+                {
+                    "bin": index,
+                    "time": self._origin + index * self._bin_seconds,
+                    "prior": active.mode,
+                    "prior_version": active.version,
+                    "estimate": estimates[offset].tolist(),
+                }
+            )
+        publisher.flush()
+        self.status.bins_published += t_chunk
+        self.status.next_bin = start_bin + t_chunk
+        timings["publish"] = timings.get("publish", 0.0) + time.perf_counter() - started
+
+        # Observe *after* publishing: a re-fit triggered by these bins swaps
+        # the active prior atomically for subsequent chunks only.
+        started = time.perf_counter()
+        self._fits.observe(start_bin, block)
+        timings["fit"] = timings.get("fit", 0.0) + time.perf_counter() - started
+
+    def run(self) -> ServiceStatus:
+        """Drive the feed to completion (or stop/max-bins) and return status."""
+        self._routing = build_routing_matrix(self._topology)
+        self._routing_t = self._routing.matrix.T
+        binner = FlowBinner(
+            self._topology.nodes,
+            bin_seconds=self._bin_seconds,
+            watermark_bins=self._watermark_bins,
+            origin=self._origin,
+            start_bin=self._start_bin,
+        )
+        publisher = _Publisher(self._sink)
+        pending: list[tuple[int, np.ndarray]] = []
+        timings = self.status.stage_seconds
+
+        def budget_left() -> int | None:
+            if self._max_bins is None:
+                return None
+            return self._max_bins - self.status.bins_published
+
+        def drain(closed, *, final: bool) -> bool:
+            """Publish complete chunks from ``pending``; True = keep running."""
+            pending.extend(closed)
+            while pending:
+                left = budget_left()
+                if left is not None and left <= 0:
+                    return False
+                take = self._chunk_bins if len(pending) >= self._chunk_bins else (
+                    len(pending) if final else 0
+                )
+                if left is not None:
+                    take = min(take, left)
+                if take == 0:
+                    return True
+                chunk = pending[:take]
+                del pending[:take]
+                self._process_chunk(chunk[0][0], [m for _, m in chunk], publisher)
+                self._write_status(binner)
+            return budget_left() is None or budget_left() > 0
+
+        try:
+            interrupted = False
+            for batch in self._source.batches():
+                started = time.perf_counter()
+                closed = binner.push(batch)
+                timings["bin"] = timings.get("bin", 0.0) + time.perf_counter() - started
+                if not drain(closed, final=False):
+                    break
+                if self._stop_requested:
+                    interrupted = True
+                    break
+            if not interrupted and not self._stop_requested:
+                # End of feed: flush the watermark-held and partial bins.
+                drain(binner.flush(), final=True)
+            else:
+                # Stopped mid-feed: publish what is already closed, keep the
+                # open bins for the resumed service to re-ingest.
+                drain([], final=True)
+            self.status.stopped_by_signal = self._stop_requested
+            self._write_status(binner)
+            self._write_checkpoint()
+        finally:
+            publisher.close()
+        return self.status

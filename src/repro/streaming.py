@@ -230,6 +230,12 @@ class CachedChunkStream(ChunkStream):
     Wrapping an :class:`ArrayChunkStream` is a no-op at the
     :func:`cache_chunks` level (its chunks are already free views); wrapping
     copies nothing eagerly — the cache fills as the first pass progresses.
+
+    Passes may be interleaved: a second iterator started while the first is
+    mid-pass serves whatever prefix is cached and regenerates the rest from
+    the inner stream without ever appending to the cache itself (only one
+    in-flight pass fills), so concurrent multi-pass readers see complete,
+    duplicate-free, bit-identical sequences.
     """
 
     def __init__(self, inner: ChunkStream, *, budget_bytes: int):
@@ -247,6 +253,7 @@ class CachedChunkStream(ChunkStream):
         self._cached_bytes = 0
         self._cached_bins = 0
         self._full = self._budget == 0
+        self._filling = False
 
     @property
     def cached_bins(self) -> int:
@@ -254,21 +261,39 @@ class CachedChunkStream(ChunkStream):
         return self._cached_bins
 
     def chunks(self) -> Iterator[tuple[int, np.ndarray]]:
+        # ``served`` tracks what THIS pass has yielded; concurrent passes may
+        # grow the shared cache underneath us, and a pass must never use the
+        # global high-water mark to decide what it may skip.
+        served = 0
         for t0, block in self._cached:
+            served = t0 + block.shape[0]
             yield t0, block
-        if self._cached_bins >= self._n_bins:
+        if served >= self._n_bins:
             return
-        for t0, block in self._inner.chunks():
-            if t0 + block.shape[0] <= self._cached_bins:
-                continue  # already served from the cache
-            if not self._full:
-                if self._cached_bytes + block.nbytes <= self._budget:
-                    self._cached.append((t0, block))
-                    self._cached_bytes += block.nbytes
-                    self._cached_bins = t0 + block.shape[0]
-                else:
-                    self._full = True
-            yield t0, block
+        # Only one in-flight pass extends the cache: a concurrent second
+        # reader regenerating the same chunks must not append duplicates.
+        fill = not self._filling
+        if fill:
+            self._filling = True
+        try:
+            for t0, block in self._inner.chunks():
+                if t0 + block.shape[0] <= served:
+                    continue  # already served from the cache by this pass
+                if fill and not self._full and t0 >= self._cached_bins:
+                    if (
+                        t0 == self._cached_bins
+                        and self._cached_bytes + block.nbytes <= self._budget
+                    ):
+                        self._cached.append((t0, block))
+                        self._cached_bytes += block.nbytes
+                        self._cached_bins = t0 + block.shape[0]
+                    else:
+                        self._full = True
+                served = t0 + block.shape[0]
+                yield t0, block
+        finally:
+            if fill:
+                self._filling = False
 
 
 def cache_chunks(source, *, budget_bytes: int | None) -> ChunkStream:
@@ -323,24 +348,47 @@ def iter_chunks(source, *, chunk_bins: int | None = None) -> Iterator[tuple[int,
     return as_chunk_stream(source, chunk_bins=chunk_bins).chunks()
 
 
+def _stream_label(streams, index: int) -> str:
+    return f"stream #{index} ({type(streams[index]).__name__})"
+
+
 def zip_chunks(*streams: ChunkStream) -> Iterator[tuple[int, tuple[np.ndarray, ...]]]:
     """Iterate several equal-length streams in lock step.
 
     All streams must agree on ``n_bins`` and on chunk boundaries (wrap array
     sources with the same ``chunk_bins``); yields ``(t0, (block, ...))``.
+    Disagreements raise :class:`ValidationError` (a ``ValueError``) naming
+    the offending streams — including a stream whose iterator ends before
+    the others, which a plain ``zip`` would silently truncate to.
     """
+    import itertools
+
     if not streams:
         raise ValidationError("zip_chunks needs at least one stream")
     lengths = {stream.n_bins for stream in streams}
     if len(lengths) != 1:
         raise ValidationError(f"streams disagree on n_bins: {sorted(lengths)}")
     iterators = [stream.chunks() for stream in streams]
-    for parts in zip(*iterators):
+    exhausted = object()
+    for parts in itertools.zip_longest(*iterators, fillvalue=exhausted):
+        done = [i for i, part in enumerate(parts) if part is exhausted]
+        if done:
+            alive = [i for i in range(len(parts)) if i not in done]
+            raise ValidationError(
+                "streams ended at different chunk counts: "
+                + ", ".join(_stream_label(streams, i) for i in done)
+                + " exhausted while "
+                + ", ".join(_stream_label(streams, i) for i in alive)
+                + " still yields chunks; refusing to truncate the longer stream(s)"
+            )
         t0 = parts[0][0]
         size = parts[0][1].shape[0]
-        for other_t0, block in parts[1:]:
+        for index, (other_t0, block) in enumerate(parts[1:], start=1):
             if other_t0 != t0 or block.shape[0] != size:
                 raise ValidationError(
-                    "streams disagree on chunk boundaries; create them with the same chunk_bins"
+                    f"streams disagree on chunk boundaries: {_stream_label(streams, 0)} "
+                    f"yields bins [{t0}, {t0 + size}) but {_stream_label(streams, index)} "
+                    f"yields [{other_t0}, {other_t0 + block.shape[0]}); create them "
+                    "with the same chunk_bins"
                 )
         yield t0, tuple(block for _, block in parts)

@@ -84,6 +84,7 @@ def od_flows_from_connections(
     nodes: Sequence[str],
     *,
     sampler: NetflowSampler | None = None,
+    keep_self_pairs: bool = False,
 ) -> np.ndarray:
     """Aggregate connections into an OD traffic matrix.
 
@@ -92,6 +93,13 @@ def od_flows_from_connections(
     ``(responder_node, initiator_node)`` entry — the decomposition at the
     heart of the IC model.  When a sampler is given, the volumes are passed
     through 1-in-N sampling first.
+
+    Connections whose endpoints map to the *same* node are rejected: their
+    bytes would land on the matrix diagonal, inflating that node's ingress
+    and egress marginals with traffic that never crosses the backbone and
+    skewing every marginal-derived quantity downstream (gravity priors,
+    activity recovery, the fitted preference).  A deliberately intra-PoP
+    study can opt back in with ``keep_self_pairs=True``.
 
     Parameters
     ----------
@@ -102,6 +110,10 @@ def od_flows_from_connections(
         unknown nodes raise :class:`ValidationError`.
     sampler:
         Optional :class:`NetflowSampler` simulating sampled netflow export.
+    keep_self_pairs:
+        Accept connections whose initiator and responder map to the same
+        node and accumulate them on the diagonal (default: raise
+        :class:`ValidationError`).
     """
     index = {name: i for i, name in enumerate(nodes)}
     matrix = np.zeros((len(index), len(index)))
@@ -113,6 +125,13 @@ def od_flows_from_connections(
             raise ValidationError(
                 f"connection references unknown node {exc.args[0]!r}"
             ) from exc
+        if origin == destination and not keep_self_pairs:
+            raise ValidationError(
+                f"connection {connection.initiator_node!r} -> "
+                f"{connection.responder_node!r} maps both endpoints to the same "
+                "node; its bytes would land on the TM diagonal and skew the "
+                "marginals (pass keep_self_pairs=True to keep intra-node traffic)"
+            )
         forward = connection.forward_bytes
         reverse = connection.reverse_bytes
         if sampler is not None:

@@ -111,6 +111,7 @@ class TestMicroBenchmarks:
             "ipf_series",
             "tomogravity_batch",
             "streaming_synthesis",
+            "ingest_throughput",
             "sweep_grid",
         ]
 
@@ -134,7 +135,7 @@ class TestBenchCLI:
         out = capsys.readouterr().out
         assert "ic_series_kernel" in out
         payload = json.loads((tmp_path / "BENCH_test.json").read_text())
-        assert len(payload["benchmarks"]) == 7
+        assert len(payload["benchmarks"]) == 8
         by_name = {bench["name"]: bench for bench in payload["benchmarks"]}
         assert "numpy" in by_name["ic_series_backend"]["extra_info"]["backends"]
         assert by_name["sweep_grid"]["extra_info"]["matches_serial_bitwise"] is True
@@ -251,3 +252,11 @@ class TestBenchCompare:
         record = benchmarking.bench_streaming_synthesis(bins=96, repeat=1)
         assert record.name == "streaming_synthesis"
         assert record.extra_info["peak_memory_ratio"] > 1.0
+
+    def test_ingest_throughput_benchmark_meets_slo(self):
+        record = benchmarking.bench_ingest_throughput(bins=16, repeat=1)
+        assert record.name == "ingest_throughput"
+        extra = record.extra_info
+        assert extra["records"] == extra["bins"] * 22 * 22 * extra["records_per_pair"]
+        # The service SLO: the pure-numpy binner sustains >= 100k records/sec.
+        assert extra["records_per_sec"] >= 100_000

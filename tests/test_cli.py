@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -195,6 +198,13 @@ class TestList:
         assert main(["list", "priors"]) == 0
         assert "--jobs" in capsys.readouterr().out
 
+    def test_list_datasets_marks_streamable(self, capsys):
+        assert main(["list", "datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "[streamable]" in output
+        streamable = [line for line in output.splitlines() if "[streamable]" in line]
+        assert any("geant" in line for line in streamable)
+
     def test_bench_subcommand_registered(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "--help"])
@@ -261,3 +271,40 @@ class TestStreaming:
         )
         assert code == 2
         assert "chunk_bins" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_replays_bundled_trace(self, tmp_path, capsys):
+        sink = tmp_path / "out"
+        code = main([
+            "serve", "--source", "examples/sample_flows.csv", "--topology", "abilene",
+            "--sink", str(sink), "--chunk-bins", "4", "--max-bins", "8",
+        ])
+        assert code == 0
+        lines = (sink / "estimates.jsonl").read_text().splitlines()
+        assert len(lines) == 8
+        first = json.loads(lines[0])
+        assert first["bin"] == 0 and first["prior"] == "gravity"
+        assert np.all(np.isfinite(first["estimate"]))
+        status = json.loads((sink / "status.json").read_text())
+        assert status["bins_published"] == 8
+        assert json.loads((sink / "checkpoint.json").read_text())["next_bin"] == 8
+        assert "published 8 bins" in capsys.readouterr().err
+
+    def test_serve_synthetic_source_with_rolling_fit(self, tmp_path, capsys):
+        sink = tmp_path / "out"
+        code = main([
+            "serve", "--source", "synthetic", "--dataset", "geant",
+            "--bins-per-week", "24", "--sink", str(sink), "--chunk-bins", "8",
+            "--prior", "stable_fp", "--refit-every", "8", "--window-bins", "16",
+        ])
+        assert code == 0
+        records = [json.loads(line) for line in (sink / "estimates.jsonl").read_text().splitlines()]
+        assert len(records) == 24
+        assert records[-1]["prior"] == "stable_fp"
+        assert json.loads((sink / "status.json").read_text())["prior"]["refits"] >= 1
+
+    def test_serve_file_source_requires_topology(self, capsys):
+        code = main(["serve", "--source", "examples/sample_flows.csv"])
+        assert code == 2
+        assert "--topology" in capsys.readouterr().err

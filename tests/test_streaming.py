@@ -36,6 +36,7 @@ from repro.estimation.pipeline import TMEstimator
 from repro.scenarios import Scenario, ScenarioRunner
 from repro.streaming import (
     ArrayChunkStream,
+    CachedChunkStream,
     FunctionChunkStream,
     as_chunk_stream,
     default_chunk_bins,
@@ -115,6 +116,23 @@ class TestChunkProtocol:
         with pytest.raises(ValidationError, match="n_bins"):
             list(zip_chunks(a, ArrayChunkStream(np.ones((5, 2, 2)))))
 
+    def test_zip_chunks_refuses_silent_truncation_naming_streams(self):
+        class TruncatedStream:
+            """Claims 6 bins but its iterator stops after one 3-bin chunk."""
+
+            n_bins = 6
+
+            def chunks(self):
+                yield 0, np.zeros((3, 2, 2))
+
+        a = ArrayChunkStream(np.zeros((6, 2, 2)), chunk_bins=3)
+        with pytest.raises(ValidationError) as excinfo:
+            list(zip_chunks(a, TruncatedStream()))
+        message = str(excinfo.value)
+        assert "refusing to truncate" in message
+        assert "TruncatedStream" in message  # the stream that ran dry
+        assert "ArrayChunkStream" in message  # the stream left yielding
+
     def test_default_chunk_bins_scales_down_with_network_size(self):
         assert default_chunk_bins(10) > default_chunk_bins(100) >= 1
 
@@ -128,6 +146,52 @@ class TestChunkProtocol:
         ingress, egress = stream.marginals()
         assert np.array_equal(ingress, values.sum(axis=2))
         assert np.array_equal(egress, values.sum(axis=1))
+
+
+class TestCachedChunkStreamConcurrency:
+    """Interleaved multi-pass readers and budgets below one chunk."""
+
+    def _counting_stream(self, n_bins=12, chunk_bins=4):
+        values = np.random.default_rng(9).random((n_bins, 3, 3))
+        passes = {"count": 0}
+
+        def factory(resolved):
+            passes["count"] += 1
+            for start in range(0, n_bins, resolved):
+                yield start, values[start:start + resolved].copy()
+
+        stream = FunctionChunkStream(
+            factory, n_bins=n_bins, nodes=("a", "b", "c"), bin_seconds=60.0,
+            chunk_bins=chunk_bins,
+        )
+        return stream, values, passes
+
+    def test_interleaved_passes_see_complete_duplicate_free_sequences(self):
+        stream, values, passes = self._counting_stream()
+        cached = CachedChunkStream(stream, budget_bytes=1 << 30)
+        first = cached.chunks()
+        collected_first = [next(first)]  # first pass is mid-flight...
+        second = list(cached.chunks())  # ...when a second pass runs to completion
+        collected_first.extend(first)
+        for chunks in (collected_first, second):
+            assert [t0 for t0, _ in chunks] == [0, 4, 8]  # complete, no duplicates
+            assert np.array_equal(np.concatenate([b for _, b in chunks]), values)
+        # The cache held only what the filling pass appended — no duplicate
+        # entries from the concurrent reader — and now serves passes alone.
+        assert cached.cached_bins == 12
+        third = list(cached.chunks())
+        assert np.array_equal(np.concatenate([b for _, b in third]), values)
+        assert passes["count"] == 2  # third pass never touched the inner stream
+
+    def test_budget_below_one_chunk_caches_nothing_but_stays_correct(self):
+        stream, values, passes = self._counting_stream()
+        chunk_bytes = values[:4].nbytes
+        cached = CachedChunkStream(stream, budget_bytes=chunk_bytes - 1)
+        for _ in range(2):
+            total = np.concatenate([b for _, b in cached.chunks()])
+            assert np.array_equal(total, values)
+        assert cached.cached_bins == 0
+        assert passes["count"] == 2  # every pass regenerates from the source
 
 
 # ---------------------------------------------------------------------------

@@ -229,6 +229,20 @@ class TestNetflow:
         with pytest.raises(ValidationError):
             od_flows_from_connections([connection], ["A", "B"])
 
+    def test_self_pair_connections_rejected_by_default(self):
+        connection = Connection(
+            "h", "s", 1, 2, "A", "A", forward_bytes=5.0, reverse_bytes=3.0, start=0.0, duration=1.0
+        )
+        with pytest.raises(ValidationError, match="keep_self_pairs"):
+            od_flows_from_connections([connection], ["A", "B"])
+
+    def test_keep_self_pairs_accumulates_on_diagonal(self):
+        connection = Connection(
+            "h", "s", 1, 2, "A", "A", forward_bytes=5.0, reverse_bytes=3.0, start=0.0, duration=1.0
+        )
+        matrix = od_flows_from_connections([connection], ["A", "B"], keep_self_pairs=True)
+        np.testing.assert_allclose(matrix, [[8.0, 0.0], [0.0, 0.0]])
+
     def test_od_aggregation_with_sampler(self):
         connections = [
             Connection("h", "s", 1, 2, "A", "B", 1e6, 3e6, 0.0, 1.0) for _ in range(20)
