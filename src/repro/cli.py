@@ -12,8 +12,10 @@ Usage::
 ``run`` executes a figure-reproduction experiment, ``estimate`` a single
 declarative scenario, ``sweep`` a priors × datasets grid through the
 :class:`repro.scenarios.ScenarioRunner` (``--jobs N`` runs grid cells in
-parallel worker processes with deterministic per-cell seeds), ``bench``
-records a ``BENCH_<rev>.json`` performance snapshot, and ``list`` shows the
+parallel with deterministic per-cell seeds; ``--executor remote
+--remote-workers HOST:PORT ...`` shards them across ``repro sweep-worker``
+daemons), ``sweep-worker`` runs one such daemon, ``bench`` records a
+``BENCH_<rev>.json`` performance snapshot, and ``list`` shows the
 registered components of any kind together with their metadata.  Unknown
 component or experiment names exit with status 2 and a message naming the
 valid registered choices.
@@ -148,11 +150,51 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--timing", action="store_true",
                        help="also print the per-cell timing breakdown")
     sweep.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for grid cells (1 = serial, "
-                            "0 = one per CPU); deterministic per-cell seeds "
-                            "keep results identical at any worker count")
+                       help="workers for grid cells (1 = serial, 0 = one per "
+                            "CPU); local executors cap at the CPU count (a "
+                            "warning reports the effective count), remote "
+                            "executors honour the full request; deterministic "
+                            "per-cell seeds keep results identical at any "
+                            "worker count")
+    sweep.add_argument("--executor", default="auto",
+                       choices=["auto", "in-process", "local-pool", "remote"],
+                       help="where cells run: auto picks in-process or the "
+                            "local shared-memory pool from --jobs; remote "
+                            "ships column batches to `repro sweep-worker` "
+                            "daemons (requires --remote-workers)")
+    sweep.add_argument("--remote-workers", nargs="+", default=None,
+                       metavar="HOST:PORT",
+                       help="sweep-worker daemon addresses for --executor "
+                            "remote; cells that spill need --spill-dir on "
+                            "storage shared with every worker")
     _add_scenario_knobs(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
+
+    worker = subparsers.add_parser(
+        "sweep-worker",
+        help="run a sweep-worker daemon for distributed `repro sweep` runs",
+        description=(
+            "Listen for `repro sweep --executor remote` clients, rebuild the "
+            "dataset columns they ship (streaming generation-plan state or "
+            "materialised week cubes), run their column batches through the "
+            "shared estimation pipeline, and send the per-cell results back.  "
+            "One daemon is one execution slot; run several for parallelism.  "
+            "The protocol exchanges pickled objects over plain TCP with no "
+            "authentication: bind only to loopback or a trusted private "
+            "network."
+        ),
+    )
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default loopback; bind "
+                             "non-loopback addresses only on trusted networks)")
+    worker.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = pick an ephemeral port; the bound "
+                             "address is printed as 'sweep-worker listening on "
+                             "HOST:PORT')")
+    worker.add_argument("--max-connections", type=int, default=0,
+                        help="exit after serving this many client connections "
+                             "(0 = serve until killed or a shutdown request)")
+    worker.set_defaults(handler=_cmd_sweep_worker)
 
     bench = subparsers.add_parser(
         "bench",
@@ -367,8 +409,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if jobs is not None and jobs < 0:
         print("error: --jobs must be >= 0", file=sys.stderr)
         return USAGE_EXIT_CODE
+    executor = args.executor
+    if executor == "remote":
+        if not args.remote_workers:
+            print("error: --executor remote requires --remote-workers HOST:PORT ...",
+                  file=sys.stderr)
+            return USAGE_EXIT_CODE
+        from repro.scenarios import RemoteExecutor
+
+        executor = RemoteExecutor(args.remote_workers)
+    elif args.remote_workers:
+        print("error: --remote-workers only applies to --executor remote",
+              file=sys.stderr)
+        return USAGE_EXIT_CODE
     result = ScenarioRunner().sweep(
-        priors=args.priors, datasets=args.datasets, base=base, jobs=jobs
+        priors=args.priors, datasets=args.datasets, base=base, jobs=jobs,
+        executor=None if executor == "auto" else executor,
     )
     grid = len(args.priors) * len(args.datasets)
     print(f"=== sweep: {len(args.priors)} priors x {len(args.datasets)} datasets "
@@ -380,6 +436,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(result.format_timing())
     return 0 if result.results else USAGE_EXIT_CODE
+
+
+def _cmd_sweep_worker(args: argparse.Namespace) -> int:
+    from repro.scenarios import run_sweep_worker
+
+    if args.port < 0:
+        print("error: --port must be >= 0", file=sys.stderr)
+        return USAGE_EXIT_CODE
+    return run_sweep_worker(
+        args.host,
+        args.port,
+        max_connections=args.max_connections if args.max_connections > 0 else None,
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -539,7 +608,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 _SUBCOMMANDS = frozenset(
-    {"run", "estimate", "sweep", "bench", "serve", "list", "-h", "--help"}
+    {"run", "estimate", "sweep", "sweep-worker", "bench", "serve", "list",
+     "-h", "--help"}
 )
 
 

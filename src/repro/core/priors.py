@@ -442,6 +442,13 @@ class StreamingPriorContext:
         passes of the ``stable_fp``/``measured`` priors regenerate their
         calibration chunks once instead of once per pass, within this many
         bytes.  ``None`` keeps fits strictly chunk-bounded.
+    fit_memo:
+        Optional ``memo(suffix, build)`` callable the sweep scheduler
+        installs (closing over its
+        :class:`~repro.scenarios.runner.SweepSharedState` and the pinned
+        plan identity): :meth:`fit_streamed` routes streamed stable-fP fits
+        through it so cells sharing a fitted window reuse one fit.  ``None``
+        (single runs) fits unconditionally.
     """
 
     dataset: object
@@ -451,6 +458,29 @@ class StreamingPriorContext:
     target_week: int
     measured_forward_fraction: float | None = None
     fit_cache_bytes: int | None = None
+    fit_memo: object = None
+
+    def fit_streamed(self, source, *, week: int):
+        """Streamed stable-fP fit of ``source``, memoised across sweep cells.
+
+        The fit is deterministic in (the chunks of) ``source`` and the fit
+        knobs, so two cells fitting the same week of the same pinned plan at
+        the same bin count receive the identical
+        :class:`~repro.core.streaming.FitResult` — reuse is bit-identical to
+        re-fitting.  The ``(week, n_bins, cache_budget)`` suffix completes
+        the scheduler's plan/scale/backend key: it separates a full
+        calibration week from the same week trimmed by ``max_bins``, and
+        different replay-cache budgets (which cannot change the result, but
+        keeping them distinct makes the key a pure function of the call).
+        """
+        from repro.core.streaming import fit_stable_fp_streaming
+
+        def build():
+            return fit_stable_fp_streaming(source, cache_bytes=self.fit_cache_bytes)
+
+        if self.fit_memo is None:
+            return build()
+        return self.fit_memo((int(week), int(source.n_bins), self.fit_cache_bytes), build)
 
     def marginal_chunk_stream(self, chunk_values) -> object:
         """A prior stream computed chunk-wise from the system marginals.
@@ -521,12 +551,13 @@ def build_stable_fp_prior_stream(context: StreamingPriorContext):
 
     The calibration week is fitted in bounded memory (chunk-wise ALS
     reductions) and the target week's activity is recovered chunk by chunk
-    from the noisy marginals with one precomputed ``pinv(QΦ)``.
+    from the noisy marginals with one precomputed ``pinv(QΦ)``.  Inside a
+    sweep the fit goes through :meth:`StreamingPriorContext.fit_streamed`,
+    so overlapping-window grids pay each calibration-week fit once per
+    worker.
     """
-    from repro.core.streaming import fit_stable_fp_streaming
-
     calibration = context.dataset.week_stream(context.calibration_week)
-    fit = fit_stable_fp_streaming(calibration, cache_bytes=context.fit_cache_bytes)
+    fit = context.fit_streamed(calibration, week=context.calibration_week)
     forward = float(fit.forward_fraction)
     preference = normalized(np.clip(fit.preference, 0.0, None), "preference")
     phi = ic_design_matrix(forward, preference)
@@ -544,10 +575,9 @@ def build_stable_fp_prior_stream(context: StreamingPriorContext):
 @_streaming_prior("measured")
 def build_measured_prior_stream(context: StreamingPriorContext):
     """Section 6.1 thought experiment: streaming fit of the target week itself."""
-    from repro.core.streaming import fit_stable_fp_streaming
     from repro.streaming import FunctionChunkStream
 
-    fit = fit_stable_fp_streaming(context.target_stream, cache_bytes=context.fit_cache_bytes)
+    fit = context.fit_streamed(context.target_stream, week=context.target_week)
     forward = float(fit.forward_fraction)
     preference = normalized(np.clip(fit.preference, 0.0, None), "preference")
     activity = fit.activity

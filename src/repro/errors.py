@@ -31,6 +31,10 @@ class EstimationError(ReproError, RuntimeError):
     """Raised when a traffic-matrix estimation step fails."""
 
 
+class ExecutorError(ReproError, RuntimeError):
+    """Raised when a sweep executor (remote workers, pools) fails as a whole."""
+
+
 class TopologyError(ReproError, ValueError):
     """Raised for malformed topologies or routing requests."""
 

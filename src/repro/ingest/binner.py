@@ -131,6 +131,7 @@ class FlowBinner:
             "bins_closed": self.bins_closed,
             "open_bins": len(self._open),
             "frontier": self._frontier,
+            "max_bin_seen": self._max_bin_seen,
         }
 
     def _bin_of(self, timestamps: np.ndarray) -> np.ndarray:

@@ -17,7 +17,11 @@ Operability:
 
 * a **status snapshot** (JSON) is rewritten after every published chunk:
   ingestion counters, bins published, active fit (mode/f/version/age),
-  cumulative per-stage latency and peak RSS;
+  cumulative per-stage latency, per-stage p50/p99 chunk latency, peak RSS
+  and **back-pressure** — how many watermark-closed bins the estimator has
+  not yet published (``bins_behind_watermark``) and how many closed bins
+  sit queued for the next chunk (``queue_depth``), the numbers that grow
+  when the estimator falls behind a paced feed;
 * **SIGTERM/SIGINT** request a clean stop (:meth:`IngestService.request_stop`
   is signal-handler compatible): the loop finishes its current batch,
   publishes every already-closed bin, writes a **resumable checkpoint**
@@ -34,6 +38,7 @@ from __future__ import annotations
 import json
 import sys
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -51,6 +56,10 @@ __all__ = ["IngestService", "ServiceStatus", "CHECKPOINT_FORMAT"]
 
 CHECKPOINT_FORMAT = "repro-ingest-checkpoint-v1"
 
+# Per-stage latency samples kept for the p50/p99 gauges: enough chunks to
+# smooth the quantiles, small enough that the window itself is O(KiB).
+STAGE_LATENCY_SAMPLES = 512
+
 
 def peak_rss_mb() -> float | None:
     """Peak resident set size of this process in MiB (None if unsupported)."""
@@ -65,7 +74,17 @@ def peak_rss_mb() -> float | None:
 
 @dataclass
 class ServiceStatus:
-    """The operational snapshot the service republishes after every chunk."""
+    """The operational snapshot the service republishes after every chunk.
+
+    ``bins_behind_watermark`` and ``queue_depth`` are the back-pressure
+    gauges: the first counts bins the watermark has already released that
+    the estimator has not published yet, the second the closed bins queued
+    for the next estimation chunk.  Both stay near zero while the estimator
+    keeps up with the feed and grow monotonically when it falls behind a
+    paced replay.  ``stage_latency`` holds per-chunk p50/p99 seconds for
+    each pipeline stage (over a bounded window of recent chunks), where
+    ``stage_seconds`` is cumulative.
+    """
 
     bins_published: int = 0
     next_bin: int = 0
@@ -74,12 +93,15 @@ class ServiceStatus:
     records_dropped_late: int = 0
     records_skipped: int = 0
     open_bins: int = 0
+    queue_depth: int = 0
+    bins_behind_watermark: int = 0
     prior_mode: str = "gravity"
     prior_version: int = 0
     fit_forward_fraction: float | None = None
     fit_age_bins: int | None = None
     refits: int = 0
     stage_seconds: dict = field(default_factory=dict)
+    stage_latency: dict = field(default_factory=dict)
     peak_rss_mb: float | None = None
     stopped_by_signal: bool = False
 
@@ -92,6 +114,10 @@ class ServiceStatus:
             "records_dropped_late": self.records_dropped_late,
             "records_skipped": self.records_skipped,
             "open_bins": self.open_bins,
+            "backpressure": {
+                "queue_depth": self.queue_depth,
+                "bins_behind_watermark": self.bins_behind_watermark,
+            },
             "prior": {
                 "mode": self.prior_mode,
                 "version": self.prior_version,
@@ -100,6 +126,11 @@ class ServiceStatus:
                 "refits": self.refits,
             },
             "stage_seconds": {k: round(v, 6) for k, v in self.stage_seconds.items()},
+            "stage_latency_seconds": {
+                stage: {key: round(value, 6) if key != "samples" else value
+                        for key, value in quantiles.items()}
+                for stage, quantiles in self.stage_latency.items()
+            },
             "peak_rss_mb": None if self.peak_rss_mb is None else round(self.peak_rss_mb, 1),
             "stopped_by_signal": self.stopped_by_signal,
         }
@@ -240,6 +271,7 @@ class IngestService:
                 preference=np.asarray(resumed_fit["preference"], dtype=float),
             )
         self.status = ServiceStatus(next_bin=self._start_bin)
+        self._stage_samples: dict[str, deque] = {}
 
     # -- control -------------------------------------------------------------
 
@@ -298,7 +330,27 @@ class IngestService:
 
     # -- status --------------------------------------------------------------
 
-    def _write_status(self, binner: FlowBinner) -> None:
+    def _record_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate one stage timing: cumulative total plus the p50/p99 window."""
+        timings = self.status.stage_seconds
+        timings[stage] = timings.get(stage, 0.0) + seconds
+        samples = self._stage_samples.get(stage)
+        if samples is None:
+            samples = self._stage_samples[stage] = deque(maxlen=STAGE_LATENCY_SAMPLES)
+        samples.append(seconds)
+
+    def _stage_latency(self) -> dict:
+        return {
+            stage: {
+                "p50": float(np.percentile(np.asarray(samples), 50)),
+                "p99": float(np.percentile(np.asarray(samples), 99)),
+                "samples": len(samples),
+            }
+            for stage, samples in self._stage_samples.items()
+            if samples
+        }
+
+    def _write_status(self, binner: FlowBinner, *, queue_depth: int = 0) -> None:
         counters = binner.counters()
         status = self.status
         status.records_seen = counters["records_seen"]
@@ -306,12 +358,20 @@ class IngestService:
         status.records_dropped_late = counters["records_dropped_late"]
         status.records_skipped = counters["records_skipped"]
         status.open_bins = counters["open_bins"]
+        status.queue_depth = queue_depth
+        # Bins the watermark has already released (indices below
+        # max_bin_seen - watermark_bins close on every push) that are not
+        # published yet: the estimator's lag behind the feed.
+        status.bins_behind_watermark = max(
+            0, counters["max_bin_seen"] - binner.watermark_bins - status.next_bin
+        )
         active = self._fits.active
         status.prior_mode = active.mode
         status.prior_version = active.version
         status.fit_forward_fraction = active.forward_fraction
         status.fit_age_bins = self._fits.fit_age_bins()
         status.refits = self._fits.refits
+        status.stage_latency = self._stage_latency()
         status.peak_rss_mb = peak_rss_mb()
         if self._status_path is not None:
             self._status_path.parent.mkdir(parents=True, exist_ok=True)
@@ -322,7 +382,6 @@ class IngestService:
     # -- the loop ------------------------------------------------------------
 
     def _process_chunk(self, start_bin: int, matrices: list, publisher: _Publisher) -> None:
-        timings = self.status.stage_seconds
         n = len(self._topology.nodes)
         block = np.stack(matrices)
         t_chunk = block.shape[0]
@@ -339,7 +398,7 @@ class IngestService:
         system = LinkLoadSystem(
             routing=self._routing, link_loads=link_loads, ingress=ingress, egress=egress
         )
-        timings["measure"] = timings.get("measure", 0.0) + time.perf_counter() - started
+        self._record_stage("measure", time.perf_counter() - started)
 
         started = time.perf_counter()
         active = self._fits.active
@@ -350,11 +409,11 @@ class IngestService:
             bin_seconds=self._bin_seconds,
             chunk_bins=t_chunk,
         )
-        timings["prior"] = timings.get("prior", 0.0) + time.perf_counter() - started
+        self._record_stage("prior", time.perf_counter() - started)
 
         started = time.perf_counter()
         result = self._estimator.estimate_stream(system, prior_stream, collect_estimate=True)
-        timings["estimate"] = timings.get("estimate", 0.0) + time.perf_counter() - started
+        self._record_stage("estimate", time.perf_counter() - started)
 
         started = time.perf_counter()
         estimates = result.estimate.values
@@ -372,13 +431,13 @@ class IngestService:
         publisher.flush()
         self.status.bins_published += t_chunk
         self.status.next_bin = start_bin + t_chunk
-        timings["publish"] = timings.get("publish", 0.0) + time.perf_counter() - started
+        self._record_stage("publish", time.perf_counter() - started)
 
         # Observe *after* publishing: a re-fit triggered by these bins swaps
         # the active prior atomically for subsequent chunks only.
         started = time.perf_counter()
         self._fits.observe(start_bin, block)
-        timings["fit"] = timings.get("fit", 0.0) + time.perf_counter() - started
+        self._record_stage("fit", time.perf_counter() - started)
 
     def run(self) -> ServiceStatus:
         """Drive the feed to completion (or stop/max-bins) and return status."""
@@ -393,7 +452,6 @@ class IngestService:
         )
         publisher = _Publisher(self._sink)
         pending: list[tuple[int, np.ndarray]] = []
-        timings = self.status.stage_seconds
 
         def budget_left() -> int | None:
             if self._max_bins is None:
@@ -417,7 +475,7 @@ class IngestService:
                 chunk = pending[:take]
                 del pending[:take]
                 self._process_chunk(chunk[0][0], [m for _, m in chunk], publisher)
-                self._write_status(binner)
+                self._write_status(binner, queue_depth=len(pending))
             return budget_left() is None or budget_left() > 0
 
         try:
@@ -425,7 +483,7 @@ class IngestService:
             for batch in self._source.batches():
                 started = time.perf_counter()
                 closed = binner.push(batch)
-                timings["bin"] = timings.get("bin", 0.0) + time.perf_counter() - started
+                self._record_stage("bin", time.perf_counter() - started)
                 if not drain(closed, final=False):
                     break
                 if self._stop_requested:
@@ -439,7 +497,7 @@ class IngestService:
                 # open bins for the resumed service to re-ingest.
                 drain([], final=True)
             self.status.stopped_by_signal = self._stop_requested
-            self._write_status(binner)
+            self._write_status(binner, queue_depth=len(pending))
             self._write_checkpoint()
         finally:
             publisher.close()

@@ -21,6 +21,13 @@ available to every scenario and to the ``repro`` CLI.
 """
 
 from repro.scenarios.scenario import Scenario
+from repro.scenarios.executors import (
+    InProcessExecutor,
+    LocalPoolExecutor,
+    RemoteExecutor,
+    SweepExecutor,
+    run_sweep_worker,
+)
 from repro.scenarios.runner import (
     FIT_CACHE_BYTES,
     ScenarioResult,
@@ -38,6 +45,11 @@ __all__ = [
     "ScenarioRunner",
     "SweepResult",
     "SweepSharedState",
+    "SweepExecutor",
+    "InProcessExecutor",
+    "LocalPoolExecutor",
+    "RemoteExecutor",
+    "run_sweep_worker",
     "SpilledSeries",
     "SpillStore",
     "SPILL_AUTO_MIN_BINS",

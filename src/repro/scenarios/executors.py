@@ -1,0 +1,511 @@
+"""Sweep executors: where the cells of a grid actually run.
+
+:meth:`ScenarioRunner.sweep` builds the grid; *executors* decide where its
+cells execute.  Three implementations cover the scaling ladder:
+
+* :class:`InProcessExecutor` — every cell runs serially in the calling
+  process, sharing one :class:`~repro.scenarios.runner.SweepSharedState`.
+  The reference path: all other executors must match it bit for bit.
+* :class:`LocalPoolExecutor` — the shared-plan ``ProcessPoolExecutor``
+  scheduler: dataset columns are synthesized (or planned) once in the
+  parent, shipped to local workers over shared memory, and cells run in
+  column batches.
+* :class:`RemoteExecutor` — the same column batches shipped to ``repro
+  sweep-worker`` daemons over TCP.  Streaming columns travel as their
+  generation-plan state (:meth:`StreamingDataset.export_state`), in-memory
+  columns as pickled week cubes; workers run the cells and send the
+  per-cell results back.  Cells that spill expect ``spill_dir`` to be a
+  directory *shared* between the parent and every worker (NFS or
+  equivalent): workers write ``.npz`` shards there and return lazy
+  :class:`~repro.scenarios.spill.SpilledSeries` handles that the parent
+  reads from the same paths.
+
+Every executor preserves the sweep's determinism contract: cells carry
+explicit seeds, batches are formed by the same column-grouping rule, and
+results are reassembled in grid order, so the choice of executor (and the
+number or speed of its workers) cannot change a single bit of the output.
+
+**Security note:** the worker protocol exchanges pickled Python objects
+over plain TCP with no authentication.  Run ``repro sweep-worker`` only on
+a trusted, private network (loopback, a lab LAN, a VPC) — never expose the
+port to untrusted peers, since unpickling attacker-controlled bytes runs
+arbitrary code.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import sys
+import threading
+import warnings
+from dataclasses import dataclass
+
+from repro.errors import ExecutorError, ValidationError
+
+__all__ = [
+    "SweepExecutor",
+    "InProcessExecutor",
+    "LocalPoolExecutor",
+    "RemoteExecutor",
+    "SweepPlan",
+    "resolve_executor",
+    "run_sweep_worker",
+    "SWEEP_WORKER_PROTOCOL",
+]
+
+# Bumped whenever the wire messages change shape; client and daemon must
+# agree exactly (there is no cross-version compatibility machinery).
+SWEEP_WORKER_PROTOCOL = 1
+
+
+@dataclass
+class SweepPlan:
+    """One sweep's work, handed from the runner to its executor.
+
+    ``cells`` are already week-pinned and in grid order; ``jobs`` is the
+    *requested* worker count before any local CPU capping (remote executors
+    may honour widths a single host cannot).
+    """
+
+    runner: object
+    cells: list
+    jobs: int = 1
+
+
+class SweepExecutor:
+    """Protocol: turn a :class:`SweepPlan` into per-cell outcomes.
+
+    ``execute`` returns one ``(result, message)`` pair per cell, in cell
+    order — ``message`` is ``None`` for a success and the error string for
+    a failed cell, exactly like the serial path produces.
+    """
+
+    name = "executor"
+
+    def execute(self, plan: SweepPlan) -> list[tuple]:
+        raise NotImplementedError
+
+
+class InProcessExecutor(SweepExecutor):
+    """Run every cell serially in the calling process (the reference path)."""
+
+    name = "in-process"
+
+    def execute(self, plan: SweepPlan) -> list[tuple]:
+        from repro.scenarios.runner import SweepSharedState
+
+        shared = SweepSharedState()
+        return [plan.runner._run_cell_guarded(cell, shared=shared) for cell in plan.cells]
+
+
+class LocalPoolExecutor(SweepExecutor):
+    """Run column batches in local worker processes (shared-memory shipping).
+
+    Wraps the runner's shared-plan ``ProcessPoolExecutor`` scheduler; on
+    pool failure (sandboxes without process support, shared-memory limits)
+    it falls back to a serial run with a warning, like ``--jobs`` always
+    has.
+    """
+
+    name = "local-pool"
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ValidationError("LocalPoolExecutor needs jobs >= 1")
+        self.jobs = int(jobs)
+
+    def execute(self, plan: SweepPlan) -> list[tuple]:
+        return plan.runner._sweep_parallel(plan.cells, self.jobs)
+
+
+def resolve_executor(spec, *, jobs: int | None, n_cells: int, cpu_count: int | None):
+    """Resolve a user-facing executor spec into ``(executor, plan_jobs)``.
+
+    ``spec`` is an executor instance (used as-is), a name (``"auto"``,
+    ``"in-process"``, ``"local-pool"``) or ``None`` (same as ``"auto"``).
+    ``jobs=None`` means one per CPU.  ``auto`` keeps the historical
+    semantics: cap the pool at the host's CPU count — now warning once
+    when the cap bites — and collapse to the in-process path when only one
+    worker could run or the grid has a single cell.  ``plan_jobs`` is the
+    uncapped request, which remote executors may use to split batches
+    wider than this host's CPUs.
+    """
+    requested = (cpu_count or 1) if jobs is None else int(jobs)
+    if requested < 1:
+        raise ValidationError("jobs must be >= 1 (or None for one per CPU)")
+    if isinstance(spec, SweepExecutor):
+        return spec, requested
+    name = "auto" if spec is None else str(spec)
+    if name == "remote":
+        raise ValidationError(
+            "the remote executor needs worker addresses; pass a "
+            "RemoteExecutor([...]) instance (CLI: --remote-workers HOST:PORT ...)"
+        )
+    if name in ("in-process", "serial"):
+        return InProcessExecutor(), requested
+    capped = max(1, min(requested, cpu_count or requested))
+    if capped < requested:
+        _warn_jobs_capped(requested, capped, cpu_count)
+    if name in ("local", "local-pool"):
+        return LocalPoolExecutor(capped), requested
+    if name == "auto":
+        if capped > 1 and n_cells > 1:
+            return LocalPoolExecutor(capped), requested
+        return InProcessExecutor(), requested
+    raise ValidationError(
+        f"unknown sweep executor {spec!r}; valid executors: auto, in-process, "
+        "local-pool, or a RemoteExecutor instance"
+    )
+
+
+# Emitted at most once per process: sweeps are often run in loops, and the
+# cap is a property of the host, not of any one call.
+_JOBS_CAP_WARNED = False
+
+
+def _warn_jobs_capped(requested: int, capped: int, cpu_count: int | None) -> None:
+    global _JOBS_CAP_WARNED
+    if _JOBS_CAP_WARNED:
+        return
+    _JOBS_CAP_WARNED = True
+    warnings.warn(
+        f"sweep jobs={requested} exceeds this host's {cpu_count} CPU(s); "
+        f"running {capped} local worker(s).  Workers beyond the CPU count buy "
+        "no local concurrency — use the remote executor (--executor remote "
+        "--remote-workers HOST:PORT ...) to go wider across machines",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+# ---------------------------------------------------------------------------
+# remote execution: wire protocol
+# ---------------------------------------------------------------------------
+#
+# Frames are length-prefixed pickles: an 8-byte big-endian unsigned length
+# followed by that many pickle bytes.  The client speaks a strict
+# request/response sequence per connection:
+#
+#   {"op": "ping"}                                  -> {"ok", "protocol"}
+#   {"op": "dataset", "key", "kind", "payload"}      -> {"ok"[, "error"]}
+#   {"op": "batch", "baseline", "fit_cache_bytes",
+#    "fit_memo", "items"}                            -> {"ok", "outcomes",
+#                                                        "peak_rss_mb"}
+#   {"op": "shutdown"}                               -> {"ok"}  (daemon exits)
+#
+# ``kind`` is "plan" (a StreamingDatasetState with arrays inline) or "cube"
+# (a pickled materialised dataset); ``items`` is a column batch of
+# ``(index, scenario, dataset_key)`` tuples and ``outcomes`` the matching
+# ``(index, result, message)`` list.  One connection serves one sweep: the
+# daemon's dataset cache and SweepSharedState live exactly as long as the
+# connection, so nothing leaks between sweeps (or clients).
+
+
+def _send_message(sock: socket.socket, message: dict) -> None:
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(struct.pack("!Q", len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
+    chunks = []
+    remaining = n_bytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise EOFError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_message(sock: socket.socket) -> dict:
+    (length,) = struct.unpack("!Q", _recv_exact(sock, 8))
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _roundtrip(sock: socket.socket, message: dict) -> dict:
+    _send_message(sock, message)
+    return _recv_message(sock)
+
+
+def _parse_address(worker) -> tuple[str, int]:
+    """Accept ``"host:port"`` strings or ``(host, port)`` pairs."""
+    if isinstance(worker, str):
+        host, separator, port = worker.rpartition(":")
+        if not separator or not host:
+            raise ValidationError(
+                f"worker address {worker!r} must look like HOST:PORT"
+            )
+        try:
+            return host, int(port)
+        except ValueError:
+            raise ValidationError(
+                f"worker address {worker!r} has a non-integer port"
+            ) from None
+    host, port = worker
+    return str(host), int(port)
+
+
+class RemoteExecutor(SweepExecutor):
+    """Ship column batches to ``repro sweep-worker`` daemons over TCP.
+
+    Parameters
+    ----------
+    workers:
+        Daemon addresses (``"host:port"`` strings or ``(host, port)``
+        pairs).  Batches are assigned round-robin in deterministic batch
+        order; each worker runs its batches sequentially over one
+        connection, so its per-connection
+        :class:`~repro.scenarios.runner.SweepSharedState` (measurement
+        systems, baselines, memoised streamed fits) is reused across every
+        batch it receives.
+    connect_timeout:
+        Seconds to wait for each daemon's TCP accept.  Batch execution
+        itself is not timed out (month-scale cells are expected to be
+        slow).
+
+    Unlike the local pool there is **no** silent serial fallback: an
+    unreachable or failing worker raises :class:`ExecutorError`, because
+    degrading a fleet-sized sweep to one serial host behind the caller's
+    back would look like success while hiding the operational failure.
+    """
+
+    name = "remote"
+
+    def __init__(self, workers, *, connect_timeout: float = 30.0):
+        addresses = [_parse_address(worker) for worker in workers]
+        if not addresses:
+            raise ValidationError("RemoteExecutor needs at least one worker address")
+        self._addresses = addresses
+        self._connect_timeout = float(connect_timeout)
+
+    def execute(self, plan: SweepPlan) -> list[tuple]:
+        from repro.scenarios.runner import ScenarioRunner
+
+        runner = plan.runner
+        items, datasets = runner._prepare_sweep_items(plan.cells)
+        # Split for the full requested width — remote workers are not bound
+        # by this host's CPU count — but never below one batch per worker.
+        split = max(int(plan.jobs or 1), len(self._addresses))
+        batches = ScenarioRunner._column_batches(items, split)
+        assignments: list[list] = [[] for _ in self._addresses]
+        for at, batch in enumerate(batches):
+            assignments[at % len(self._addresses)].append(batch)
+
+        outcomes: list[tuple | None] = [None] * len(plan.cells)
+        errors: list[str] = []
+        collected: list[tuple] = []
+        lock = threading.Lock()
+        threads = [
+            threading.Thread(
+                target=self._drive_worker,
+                args=(address, assigned, datasets, runner, collected, errors, lock),
+                name=f"sweep-remote-{address[0]}:{address[1]}",
+            )
+            for address, assigned in zip(self._addresses, assignments)
+            if assigned
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise ExecutorError(
+                "remote sweep failed: " + "; ".join(sorted(errors))
+            )
+        for index, result, message in collected:
+            outcomes[index] = (result, message)
+        missing = [at for at, outcome in enumerate(outcomes) if outcome is None]
+        if missing:
+            raise ExecutorError(
+                f"remote sweep returned no outcome for cells {missing}; "
+                "client and workers are likely running different versions "
+                f"(protocol {SWEEP_WORKER_PROTOCOL})"
+            )
+        return outcomes
+
+    def _drive_worker(
+        self, address, assigned, datasets, runner, collected, errors, lock
+    ) -> None:
+        label = f"{address[0]}:{address[1]}"
+        try:
+            sock = socket.create_connection(address, timeout=self._connect_timeout)
+        except OSError as exc:
+            with lock:
+                errors.append(f"worker {label} unreachable ({exc})")
+            return
+        try:
+            # Cells can legitimately run for minutes; only the connect is
+            # bounded above.
+            sock.settimeout(None)
+            hello = _roundtrip(sock, {"op": "ping"})
+            if hello.get("protocol") != SWEEP_WORKER_PROTOCOL:
+                with lock:
+                    errors.append(
+                        f"worker {label} speaks protocol "
+                        f"{hello.get('protocol')!r}, expected {SWEEP_WORKER_PROTOCOL}"
+                    )
+                return
+            needed = sorted(
+                {key for batch in assigned for (_, _, key) in batch if key is not None},
+                key=repr,
+            )
+            for key in needed:
+                data = datasets[key]
+                if hasattr(data, "export_state"):
+                    kind, payload = "plan", data.export_state()
+                else:
+                    kind, payload = "cube", data
+                reply = _roundtrip(
+                    sock, {"op": "dataset", "key": key, "kind": kind, "payload": payload}
+                )
+                if not reply.get("ok"):
+                    with lock:
+                        errors.append(
+                            f"worker {label} rejected dataset {key!r}: "
+                            f"{reply.get('error', 'unknown error')}"
+                        )
+                    return
+            for batch in assigned:
+                reply = _roundtrip(
+                    sock,
+                    {
+                        "op": "batch",
+                        "baseline": runner._baseline,
+                        "fit_cache_bytes": runner._fit_cache_bytes,
+                        "fit_memo": runner._fit_memo,
+                        "items": batch,
+                    },
+                )
+                if not reply.get("ok"):
+                    with lock:
+                        errors.append(
+                            f"worker {label} failed a batch: "
+                            f"{reply.get('error', 'unknown error')}"
+                        )
+                    return
+                with lock:
+                    collected.extend(reply["outcomes"])
+        except (OSError, EOFError, pickle.PickleError, struct.error) as exc:
+            with lock:
+                errors.append(f"worker {label} failed ({type(exc).__name__}: {exc})")
+        finally:
+            sock.close()
+
+
+# ---------------------------------------------------------------------------
+# the worker daemon (``repro sweep-worker``)
+# ---------------------------------------------------------------------------
+
+def _rebuild_dataset(kind: str, payload):
+    if kind == "plan":
+        from repro.synthesis.datasets import streaming_dataset_from_state
+
+        return streaming_dataset_from_state(payload)
+    if kind == "cube":
+        return payload
+    raise ValidationError(f"unknown dataset kind {kind!r}")
+
+
+def _serve_connection(conn: socket.socket) -> bool:
+    """Serve one client connection; returns True when shutdown was requested.
+
+    The dataset cache and shared state are connection-scoped: the rebuilt
+    plans stay alive (and keep their ids stable, which the shared-state
+    keys embed) for exactly one sweep, then everything is dropped.
+    """
+    from repro.scenarios.runner import (
+        ScenarioRunner,
+        SweepSharedState,
+        _peak_rss_mb,
+    )
+
+    datasets: dict[tuple, object] = {}
+    shared = SweepSharedState()
+    while True:
+        try:
+            message = _recv_message(conn)
+        except EOFError:
+            return False
+        op = message.get("op")
+        if op == "ping":
+            _send_message(conn, {"ok": True, "protocol": SWEEP_WORKER_PROTOCOL})
+        elif op == "dataset":
+            try:
+                datasets[message["key"]] = _rebuild_dataset(
+                    message["kind"], message["payload"]
+                )
+                _send_message(conn, {"ok": True})
+            except Exception as exc:  # noqa: BLE001 - reported to the client
+                _send_message(
+                    conn, {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                )
+        elif op == "batch":
+            try:
+                runner = ScenarioRunner(
+                    baseline_prior=message["baseline"],
+                    fit_cache_bytes=message["fit_cache_bytes"],
+                    fit_memo=message.get("fit_memo", True),
+                )
+                outcomes = []
+                for index, cell, dataset_key in message["items"]:
+                    dataset = (
+                        datasets.get(dataset_key) if dataset_key is not None else None
+                    )
+                    result, error = runner._run_cell_guarded(
+                        cell, dataset=dataset, shared=shared
+                    )
+                    outcomes.append((index, result, error))
+                _send_message(
+                    conn,
+                    {"ok": True, "outcomes": outcomes, "peak_rss_mb": _peak_rss_mb()},
+                )
+            except Exception as exc:  # noqa: BLE001 - reported to the client
+                _send_message(
+                    conn, {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                )
+        elif op == "shutdown":
+            _send_message(conn, {"ok": True})
+            return True
+        else:
+            _send_message(conn, {"ok": False, "error": f"unknown op {op!r}"})
+
+
+def run_sweep_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    max_connections: int | None = None,
+    output=None,
+) -> int:
+    """Run a sweep-worker daemon until shutdown (the ``repro sweep-worker`` loop).
+
+    Binds ``host:port`` (``port=0`` picks an ephemeral port) and announces
+    the bound address on ``output`` as ``sweep-worker listening on
+    HOST:PORT`` so launchers can parse it.  Connections are served one at a
+    time — a worker daemon is one execution slot; run several daemons for
+    parallelism — and the daemon exits after ``max_connections`` clients or
+    a ``shutdown`` request.  See the module docstring for the trusted-
+    network requirement.
+    """
+    stream = output if output is not None else sys.stdout
+    server = socket.create_server((host, port), backlog=8)
+    bound_host, bound_port = server.getsockname()[:2]
+    print(f"sweep-worker listening on {bound_host}:{bound_port}", file=stream, flush=True)
+    served = 0
+    try:
+        while True:
+            conn, _ = server.accept()
+            try:
+                shutdown = _serve_connection(conn)
+            finally:
+                conn.close()
+            if shutdown:
+                return 0
+            served += 1
+            if max_connections is not None and served >= max_connections:
+                return 0
+    finally:
+        server.close()

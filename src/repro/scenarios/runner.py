@@ -16,11 +16,15 @@ combination:
 Grid sweeps run on a shared-plan scheduler: every dataset column is
 synthesized (or, for streaming cells, *planned* — spatial draws, activity
 series and eagerly checkpointed noise-RNG states) exactly once in the
-parent and shipped to the workers through shared memory; cells are grouped
-by dataset column so each worker's :class:`SweepSharedState` reuses the
-column's measurement systems and gravity-baseline estimates across the
-priors it runs.  Results are deterministic and bit-identical to the serial
-in-memory sweep at any worker count.
+parent and shipped to the workers; cells are grouped by dataset column so
+each worker's :class:`SweepSharedState` reuses the column's measurement
+systems, gravity-baseline estimates and memoised streamed stable-fP fits
+across the cells it runs.  *Where* the workers live is an executor choice
+(:mod:`repro.scenarios.executors`): in this process, a local
+``ProcessPoolExecutor`` fed over shared memory, or ``repro sweep-worker``
+daemons on other machines fed plan state over TCP.  Results are
+deterministic and bit-identical to the serial in-memory sweep under any
+executor and worker count.
 """
 
 from __future__ import annotations
@@ -106,17 +110,23 @@ class SweepSharedState:
     against the same baseline prior re-derives the *same* baseline estimate.
     This object memoises both — keyed by the full value tuple that
     determines them — so a worker (or the serial path) computes each once
-    per column instead of once per cell.  Reuse returns the identical
-    arrays a fresh computation would produce, so results are bit-identical
-    to the unshared path; the ``*_builds`` counters exist so tests can prove
-    the sharing actually happens.
+    per column instead of once per cell.  It also memoises streamed
+    stable-fP fits (:meth:`fit`): overlapping-window grids, where many
+    cells calibrate against the same week of the same plan, pay each
+    distinct ALS fit once per worker instead of once per cell.  Reuse
+    returns the identical arrays a fresh computation would produce — the
+    streamed fit is deterministic in its inputs — so results are
+    bit-identical to the unshared path; the ``*_builds`` counters exist so
+    tests can prove the sharing actually happens.
     """
 
     def __init__(self):
         self.systems: dict[tuple, object] = {}
         self.baselines: dict[tuple, object] = {}
+        self.fits: dict[tuple, object] = {}
         self.system_builds = 0
         self.baseline_builds = 0
+        self.fit_builds = 0
         self._pinned: list = []
 
     def pin(self, anchor) -> None:
@@ -142,6 +152,14 @@ class SweepSharedState:
             cached = build()
             self.baseline_builds += 1
             self.baselines[key] = cached
+        return cached
+
+    def fit(self, key: tuple, build):
+        cached = self.fits.get(key)
+        if cached is None:
+            cached = build()
+            self.fit_builds += 1
+            self.fits[key] = cached
         return cached
 
 
@@ -251,6 +269,14 @@ class ScenarioRunner:
         :data:`FIT_CACHE_BYTES`); ``None`` keeps streamed prior fits
         strictly chunk-bounded, regenerating their chunks on every ALS pass
         (the pre-cache behaviour, used as the benchmark baseline).
+    fit_memo:
+        Memoise streamed stable-fP fits in the sweep's
+        :class:`SweepSharedState`, keyed by the pinned plan identity, the
+        fitted week and bin count, and the fit knobs, so overlapping-window
+        grids pay each distinct fit once per worker instead of once per
+        cell.  The fit is deterministic in those inputs, so reuse is
+        bit-identical; ``False`` restores the per-cell re-fit (the
+        benchmark baseline).  Single runs (no shared state) never memoise.
     """
 
     def __init__(
@@ -258,9 +284,11 @@ class ScenarioRunner:
         *,
         baseline_prior: str | None = "gravity",
         fit_cache_bytes: int | None = FIT_CACHE_BYTES,
+        fit_memo: bool = True,
     ):
         self._baseline = baseline_prior
         self._fit_cache_bytes = fit_cache_bytes
+        self._fit_memo = fit_memo
 
     # -- week resolution ----------------------------------------------------
 
@@ -601,6 +629,26 @@ class ScenarioRunner:
             )
 
         system = shared.system(system_key, build_system) if shared is not None else build_system()
+        fit_memo = None
+        if shared is not None and self._fit_memo:
+            # Everything that determines a streamed stable-fP fit beyond the
+            # (week, bin-count, cache-budget) suffix the context appends:
+            # the pinned plan identity — i.e. the exact traffic — plus the
+            # scale knobs and the backend the reductions run on.
+            fit_key_base = (
+                "fit",
+                scenario.dataset,
+                id(getattr(data, "plan", data)),
+                scenario.bins_per_week,
+                scenario.full_scale,
+                scenario.dataset_seed,
+                scenario.chunk_bins,
+                scenario.backend,
+            )
+
+            def fit_memo(suffix, build, _base=fit_key_base):
+                return shared.fit(_base + tuple(suffix), build)
+
         context = StreamingPriorContext(
             dataset=data,
             target_stream=target_stream,
@@ -609,6 +657,7 @@ class ScenarioRunner:
             target_week=target_week,
             measured_forward_fraction=scenario.measured_forward_fraction,
             fit_cache_bytes=self._fit_cache_bytes,
+            fit_memo=fit_memo,
         )
         spill, spill_estimate = self._resolve_spill(scenario, target_stream.n_bins)
 
@@ -724,6 +773,7 @@ class ScenarioRunner:
         datasets: Sequence[str],
         base: Scenario | dict | None = None,
         jobs: int | None = 1,
+        executor=None,
         **overrides,
     ) -> "SweepResult":
         """Run the full priors × datasets grid and collect a comparison.
@@ -736,28 +786,37 @@ class ScenarioRunner:
             Scenario (or plain dict) supplying the shared knobs; the grid
             cell overwrites its ``dataset`` and ``prior``.
         jobs:
-            Number of worker processes running grid cells concurrently.
-            ``1`` (the default) runs the cells serially in this process;
-            ``None`` uses one worker per CPU.  The pool is capped at the
-            host's CPU count (surplus workers cannot run concurrently and
-            would only split the column groups), and a single-worker pool
-            collapses to the in-process path.  Results are deterministic
-            regardless of ``jobs``: every cell carries its own explicit
-            ``seed``/``dataset_seed``, cells are scheduled in column groups
-            and collected in grid order, and the per-process reuse caches
-            return the identical arrays a fresh computation would, so
-            scheduling cannot change the outcome.  Each dataset column is
-            synthesized (in-memory cells) or planned with eagerly
-            checkpointed noise states (streaming cells) **once in the
-            parent** and shipped to the workers through shared memory, so
-            the grid pays one synthesis per column rather than one per
+            Number of workers running grid cells concurrently.  ``1`` (the
+            default) runs the cells serially in this process; ``None`` uses
+            one worker per CPU.  Local executors cap the pool at the host's
+            CPU count (surplus workers cannot run concurrently and would
+            only split the column groups; a warning reports the effective
+            count once), and a single-worker pool collapses to the
+            in-process path.  A remote executor honours the full request —
+            its workers are other machines.
+        executor:
+            Where the cells run (see :mod:`repro.scenarios.executors`):
+            ``None``/``"auto"`` keeps the historical jobs-driven choice
+            between the in-process path and the local shared-memory pool;
+            ``"in-process"`` or ``"local-pool"`` force one; a
+            :class:`~repro.scenarios.executors.RemoteExecutor` instance
+            ships column batches to ``repro sweep-worker`` daemons.
+            Results are deterministic regardless of executor or ``jobs``:
+            every cell carries its own explicit ``seed``/``dataset_seed``,
+            cells are scheduled in column groups and collected in grid
+            order, and the reuse caches return the identical arrays a fresh
+            computation would, so scheduling cannot change the outcome.
+            Each dataset column is synthesized (in-memory cells) or planned
+            with eagerly checkpointed noise states (streaming cells) **once
+            in the parent** and shipped to the workers — through shared
+            memory locally, as plan state over TCP remotely — so the grid
+            pays one synthesis per column rather than one per
             (worker, column); workers only run the estimation pipelines,
-            reusing the column's measurement system and baseline estimate
-            across its priors.
+            reusing the column's measurement system, baseline estimate and
+            memoised streamed fits across its cells.
         overrides:
             Additional Scenario fields applied on top of ``base``.
         """
-        started = time.perf_counter()
         if not priors or not datasets:
             raise ValidationError("sweep needs at least one prior and one dataset")
         if isinstance(base, dict):
@@ -769,6 +828,39 @@ class ScenarioRunner:
             for dataset in datasets
             for prior in priors
         ]
+        return self.run_cells(
+            cells,
+            jobs=jobs,
+            executor=executor,
+            priors=tuple(canonical_name(prior) for prior in priors),
+            datasets=tuple(canonical_name(dataset) for dataset in datasets),
+        )
+
+    def run_cells(
+        self,
+        cells: Sequence[Scenario],
+        *,
+        jobs: int | None = 1,
+        executor=None,
+        priors: Sequence[str] | None = None,
+        datasets: Sequence[str] | None = None,
+    ) -> "SweepResult":
+        """Run an explicit list of scenario cells through the sweep machinery.
+
+        The scheduler, executors, per-column week pinning and shared-state
+        reuse are exactly those of :meth:`sweep`; the difference is that the
+        caller supplies the cells directly, so grids a priors × datasets
+        product cannot express — e.g. overlapping-window sweeps where many
+        cells share a calibration week but target different weeks — still
+        get column batching, shared-plan shipping and fit memoisation.
+        ``priors``/``datasets`` optionally override the result's axis
+        labels; by default they are derived from the cells in first-seen
+        order.
+        """
+        started = time.perf_counter()
+        cells = list(cells)
+        if not cells:
+            raise ValidationError("run_cells needs at least one scenario cell")
         # Priors resolve different default target weeks, and n_weeks is part
         # of the synthesis cache key *and* changes the generated traffic; pin
         # every cell of a dataset column to the column-wide maximum so the
@@ -787,19 +879,7 @@ class ScenarioRunner:
             else cell
             for cell in cells
         ]
-        if jobs is None:
-            jobs = os.cpu_count() or 1
-        # Worker processes beyond the CPUs that can actually run them buy no
-        # concurrency — they only pay fork/ship overhead and split column
-        # groups (duplicating the shared baseline work); cap the pool at the
-        # host's CPU count and collapse to the in-process shared path when
-        # only one worker could run.  Results are identical at any width.
-        workers = max(1, min(jobs, os.cpu_count() or jobs))
-        if workers > 1 and len(cells) > 1:
-            outcomes = self._sweep_parallel(cells, workers)
-        else:
-            shared = SweepSharedState()
-            outcomes = [self._run_cell_guarded(cell, shared=shared) for cell in cells]
+        outcomes, executor_name = self._execute_cells(cells, jobs=jobs, executor=executor)
         results: list[ScenarioResult] = []
         failures: list[tuple[Scenario, str]] = []
         for cell, (result, message) in zip(cells, outcomes):
@@ -819,14 +899,33 @@ class ScenarioRunner:
             "cells_per_second": len(cells) / wall if wall > 0 else float("nan"),
             "peak_rss_mb": _peak_rss_mb(),
             "worker_peak_rss_mb": max(worker_peaks) if worker_peaks else None,
+            "executor": executor_name,
         }
         return SweepResult(
-            priors=tuple(canonical_name(prior) for prior in priors),
-            datasets=tuple(canonical_name(dataset) for dataset in datasets),
+            priors=(
+                tuple(priors)
+                if priors is not None
+                else tuple(dict.fromkeys(cell.prior for cell in cells))
+            ),
+            datasets=(
+                tuple(datasets)
+                if datasets is not None
+                else tuple(dict.fromkeys(cell.dataset for cell in cells))
+            ),
             results=results,
             failures=failures,
             timing=timing,
         )
+
+    def _execute_cells(self, cells: list[Scenario], *, jobs, executor) -> tuple[list, str]:
+        """Resolve the executor and run the cells; returns (outcomes, name)."""
+        from repro.scenarios import executors as executors_module
+
+        resolved, plan_jobs = executors_module.resolve_executor(
+            executor, jobs=jobs, n_cells=len(cells), cpu_count=os.cpu_count()
+        )
+        plan = executors_module.SweepPlan(runner=self, cells=cells, jobs=plan_jobs)
+        return resolved.execute(plan), resolved.name
 
     def _run_cell_guarded(self, cell: Scenario, *, dataset=None, shared=None) -> tuple:
         """Run one cell on this runner, wrapping failures like the workers do."""
@@ -885,20 +984,17 @@ class ScenarioRunner:
             batches.extend([largest[:half], largest[half:]])
         return batches
 
-    def _sweep_parallel(self, cells: list[Scenario], jobs: int) -> list[tuple]:
-        """Run the grid cells in worker processes, preserving grid order.
+    def _prepare_sweep_items(self, cells: list[Scenario]) -> tuple[list[tuple], dict]:
+        """Prepare each distinct dataset column once, in the parent.
 
-        Every distinct dataset column is prepared once here in the parent —
-        in-memory columns through the shared :func:`load_dataset` cache,
-        streaming columns as a :class:`StreamingDataset` whose noise-state
-        checkpoints are populated eagerly — and handed to each worker
-        process at startup.  The bulky arrays (week cubes, or the plan's
-        activity series) travel through ``multiprocessing.shared_memory`` —
-        W workers map **one** copy of each column instead of unpickling W
-        private ones — with a transparent fallback to the pickle path on
-        platforms (or failures) where shared memory is unavailable.  Cells
-        are scheduled in column groups so each worker's shared state reuses
-        the column's measurement system and baseline estimate.
+        In-memory columns come through the shared :func:`load_dataset`
+        cache; streaming columns are opened as a :class:`StreamingDataset`
+        whose noise-state checkpoints are populated eagerly, so workers
+        never re-plan or re-pay the noise-RNG prefix.  Returns the
+        ``(index, cell, key)`` work items (``key=None`` routes a cell to
+        the worker's own dataset caches) and the ``{key: dataset}`` map
+        executors ship — through shared memory locally, as plan state over
+        TCP remotely.
         """
         datasets: dict[tuple, object] = {}
         keys: list[tuple | None] = []
@@ -927,8 +1023,28 @@ class ScenarioRunner:
                     key = None
             keys.append(key)
         items = [(index, cell, key) for index, (cell, key) in enumerate(zip(cells, keys))]
+        return items, datasets
+
+    def _sweep_parallel(self, cells: list[Scenario], jobs: int) -> list[tuple]:
+        """Run the grid cells in worker processes, preserving grid order.
+
+        Every distinct dataset column is prepared once here in the parent
+        (:meth:`_prepare_sweep_items`) and handed to each worker process at
+        startup.  The bulky arrays (week cubes, or the plan's activity
+        series) travel through ``multiprocessing.shared_memory`` — W
+        workers map **one** copy of each column instead of unpickling W
+        private ones — with a transparent fallback to the pickle path on
+        platforms (or failures) where shared memory is unavailable.  Cells
+        are scheduled in column groups so each worker's shared state reuses
+        the column's measurement system, baseline estimate and memoised
+        streamed fits.
+        """
+        items, datasets = self._prepare_sweep_items(cells)
         batches = self._column_batches(items, jobs)
-        payloads = [(self._baseline, self._fit_cache_bytes, batch) for batch in batches]
+        payloads = [
+            (self._baseline, self._fit_cache_bytes, self._fit_memo, batch)
+            for batch in batches
+        ]
         shm_payload, shm_blocks = _export_datasets_shm(datasets)
         pickled = datasets if shm_payload is None else {}
         try:
@@ -1116,8 +1232,10 @@ def _run_sweep_batch(payload: tuple) -> list[tuple]:
     the initializer attached; each returns ``(index, result, message)`` so
     the parent can reassemble grid order across batches.
     """
-    baseline, fit_cache_bytes, items = payload
-    runner = ScenarioRunner(baseline_prior=baseline, fit_cache_bytes=fit_cache_bytes)
+    baseline, fit_cache_bytes, fit_memo, items = payload
+    runner = ScenarioRunner(
+        baseline_prior=baseline, fit_cache_bytes=fit_cache_bytes, fit_memo=fit_memo
+    )
     outcomes = []
     for index, cell, dataset_key in items:
         dataset = _WORKER_DATASETS.get(dataset_key) if dataset_key is not None else None
@@ -1214,9 +1332,11 @@ def sweep(
     datasets: Sequence[str],
     base: Scenario | dict | None = None,
     jobs: int | None = 1,
+    executor=None,
     **overrides,
 ) -> SweepResult:
     """Convenience wrapper around :meth:`ScenarioRunner.sweep`."""
     return ScenarioRunner().sweep(
-        priors=priors, datasets=datasets, base=base, jobs=jobs, **overrides
+        priors=priors, datasets=datasets, base=base, jobs=jobs, executor=executor,
+        **overrides,
     )

@@ -24,9 +24,10 @@ from repro.cli import main
 
 @pytest.fixture
 def small_sweep_grid(monkeypatch):
-    """Point the quick set's sweep-grid bench at a seconds-scale workload."""
+    """Point the quick set's sweep benches at seconds-scale workloads."""
 
     original = benchmarking.bench_sweep_grid
+    original_executor = benchmarking.bench_sweep_executor
 
     def tiny(**_ignored):
         return original(
@@ -38,7 +39,13 @@ def small_sweep_grid(monkeypatch):
             repeat=1,
         )
 
+    def tiny_executor(**_ignored):
+        return original_executor(
+            n_targets=2, bins_per_week=48, max_bins=4, pool_jobs=2, repeat=1
+        )
+
     monkeypatch.setattr(benchmarking, "bench_sweep_grid", tiny)
+    monkeypatch.setattr(benchmarking, "bench_sweep_executor", tiny_executor)
     return tiny
 
 
@@ -113,6 +120,7 @@ class TestMicroBenchmarks:
             "streaming_synthesis",
             "ingest_throughput",
             "sweep_grid",
+            "sweep_executor",
         ]
 
     def test_bench_sweep_grid_record(self, small_sweep_grid):
@@ -122,8 +130,18 @@ class TestMicroBenchmarks:
         assert extra["matches_serial_bitwise"] is True
         assert extra["cells"] == 2
         assert extra["serial_stream_seconds"] > 0
-        assert extra["speedup_vs_serial_stream"] > 0
-        assert extra["worker_peak_rss_mb"] is None or extra["worker_peak_rss_mb"] > 0
+
+    def test_bench_sweep_executor_record(self):
+        record = benchmarking.bench_sweep_executor(
+            n_targets=2, bins_per_week=48, max_bins=4, pool_jobs=2, repeat=1
+        )
+        assert record.name == "sweep_executor"
+        extra = record.extra_info
+        assert extra["matches_serial_bitwise"] is True
+        assert extra["cells"] == 2
+        assert extra["memoisation_speedup"] > 0
+        assert extra["pool_unmemoised_seconds"] > 0
+        assert extra["speedup_vs_serial"] > 0
 
 
 class TestBenchCLI:
@@ -135,7 +153,7 @@ class TestBenchCLI:
         out = capsys.readouterr().out
         assert "ic_series_kernel" in out
         payload = json.loads((tmp_path / "BENCH_test.json").read_text())
-        assert len(payload["benchmarks"]) == 8
+        assert len(payload["benchmarks"]) == 9
         by_name = {bench["name"]: bench for bench in payload["benchmarks"]}
         assert "numpy" in by_name["ic_series_backend"]["extra_info"]["backends"]
         assert by_name["sweep_grid"]["extra_info"]["matches_serial_bitwise"] is True

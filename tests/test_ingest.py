@@ -545,3 +545,58 @@ class TestServiceCleanStop:
         assert payload["next_bin"] == status.bins_published
         snapshot = json.loads((tmp_path / "status.json").read_text())
         assert snapshot["stopped_by_signal"] is True
+
+
+class TestBackPressureMetrics:
+    def test_fully_drained_run_reports_zero_lag_and_latency_quantiles(self, tmp_path):
+        data = open_dataset_stream("geant", n_weeks=1, bins_per_week=24, seed=11)
+        status_path = tmp_path / "status.json"
+        service = IngestService(
+            SyntheticFlowSource(data.week_stream(0)),
+            data.topology,
+            bin_seconds=data.week_stream(0).bin_seconds,
+            chunk_bins=4,
+            sink=tmp_path / "estimates.jsonl",
+            status_path=status_path,
+        )
+        status = service.run()
+        assert status.bins_published == 24
+        # Everything the watermark released was published: no lag, no queue.
+        assert status.bins_behind_watermark == 0
+        assert status.queue_depth == 0
+        snapshot = json.loads(status_path.read_text())
+        assert snapshot["backpressure"] == {
+            "queue_depth": 0,
+            "bins_behind_watermark": 0,
+        }
+        latency = snapshot["stage_latency_seconds"]
+        # Every pipeline stage that ran reports an ordered quantile pair.
+        for stage in ("bin", "measure", "prior", "estimate", "publish"):
+            assert latency[stage]["samples"] >= 1
+            assert 0.0 <= latency[stage]["p50"] <= latency[stage]["p99"]
+
+    def test_budget_stop_reports_queue_depth_and_watermark_lag(self, tmp_path):
+        # A 4-bin publication budget halts the service while the binner has
+        # already closed more bins than it may publish; the remainder stays
+        # queued behind the watermark, which is what the gauges must show.
+        data = open_dataset_stream("geant", n_weeks=1, bins_per_week=24, seed=11)
+        stream = data.week_stream(0)
+        service = IngestService(
+            SyntheticFlowSource(stream),
+            data.topology,
+            bin_seconds=stream.bin_seconds,
+            chunk_bins=4,
+            max_bins=4,
+            sink=tmp_path / "estimates.jsonl",
+            status_path=tmp_path / "status.json",
+        )
+        status = service.run()
+        assert status.bins_published == 4
+        assert status.queue_depth > 0
+        assert status.bins_behind_watermark > 0
+        snapshot = json.loads((tmp_path / "status.json").read_text())
+        assert snapshot["backpressure"]["queue_depth"] == status.queue_depth
+        assert (
+            snapshot["backpressure"]["bins_behind_watermark"]
+            == status.bins_behind_watermark
+        )

@@ -14,7 +14,7 @@ SMALL = {"bins_per_week": 36, "max_bins": 4}
 
 def _run_one_cell(baseline, scenario, key):
     """Run a single cell through the worker batch entry point."""
-    [(_, result, message)] = _run_sweep_batch((baseline, None, [(0, scenario, key)]))
+    [(_, result, message)] = _run_sweep_batch((baseline, None, True, [(0, scenario, key)]))
     return result, message
 
 
@@ -40,7 +40,7 @@ class TestRunSweepBatch:
             for prior in ("gravity", "stable_f")
         ]
         items = [(index + 5, cell, None) for index, cell in enumerate(cells)]
-        outcomes = _run_sweep_batch(("gravity", None, items))
+        outcomes = _run_sweep_batch(("gravity", None, True, items))
         assert [index for index, _, _ in outcomes] == [5, 6]
         assert all(message is None for _, _, message in outcomes)
 
