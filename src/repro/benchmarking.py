@@ -54,6 +54,7 @@ __all__ = [
     "bench_ingest_throughput",
     "bench_sweep_grid",
     "bench_sweep_executor",
+    "bench_report_marts",
     "run_benchmarks",
     "run_pytest_benchmarks",
     "current_revision",
@@ -843,6 +844,161 @@ def bench_sweep_executor(
     )
 
 
+def bench_report_marts(
+    *,
+    bins: int = 2048,
+    nodes: int = 22,
+    shard_bins: int = 128,
+    repeat: int = 3,
+) -> BenchmarkRecord:
+    """Streaming marts over a shard archive vs materialise-then-reduce.
+
+    Builds a spilled archive (a gamma-traffic estimate cube plus a per-bin
+    error series, sharded at ``shard_bins``) and answers the ``repro
+    report`` catalogue two ways over fresh lazy handles each round:
+
+    * ``wall_seconds`` — the streaming marts (:mod:`repro.marts`): one
+      decompressed shard in memory at a time, exact rollups via
+      per-bin sequential folds, sketched quantiles/CCDF;
+    * ``materialised_seconds`` — the pre-PR baseline: ``.load()`` the
+      series into memory, then numpy reductions answering the same
+      questions (``cube.sum(axis=0)``, top-K by argsort, hour-of-day
+      ``np.add.at`` rollup, ``np.quantile`` over the errors and the
+      positive cube values).
+
+    The exact marts are verified bit-identical to the materialised numpy
+    oracle before any number is reported, and ``tracemalloc`` peaks of
+    both arms are recorded — the ``peak_memory_ratio`` is the headline:
+    report memory stays one shard + sketch state, never the series.
+    """
+    import tempfile
+    import tracemalloc
+
+    from repro.marts import (
+        ErrorQuantilesMart,
+        OdCcdfMart,
+        OverviewMart,
+        TopTalkersMart,
+        TrafficByHourMart,
+    )
+    from repro.scenarios.spill import SpillStore, discover_spilled_series
+
+    quantiles = (0.5, 0.9, 0.95, 0.99)
+    rng = np.random.default_rng(7)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-marts-") as tmp:
+        store = SpillStore(tmp, shard_bins=shard_bins)
+        writer = store.writer("estimate")
+        for start in range(0, bins, shard_bins):
+            t_chunk = min(shard_bins, bins - start)
+            writer(start, rng.gamma(2.0, 50_000.0, size=(t_chunk, nodes, nodes)))
+        writer.finish()
+        store.add_series("errors", rng.uniform(0.1, 0.6, size=bins))
+
+        top_k = 10
+        bins_per_hour = 12
+
+        def streamed() -> dict:
+            series = discover_spilled_series(tmp)
+            marts = {
+                "overview": OverviewMart(),
+                "top_talkers": TopTalkersMart(k=top_k),
+                "traffic_by_hour": TrafficByHourMart(bins_per_hour=bins_per_hour),
+                "od_ccdf": OdCcdfMart(),
+            }
+            for t0, block in series["estimate"].iter_blocks():
+                for mart in marts.values():
+                    mart.update(t0, block)
+            errors = ErrorQuantilesMart().consume(series["errors"].iter_blocks())
+            return {name: mart.result() for name, mart in marts.items()} | {
+                "error_quantiles": errors.result()
+            }
+
+        def materialised() -> dict:
+            series = discover_spilled_series(tmp)
+            cube = series["estimate"].load()
+            errors = series["errors"].load()
+            od_sum = cube.sum(axis=0)
+            bin_totals = cube.sum(axis=(1, 2))
+            order = np.argsort(od_sum, axis=None)[::-1][:top_k]
+            hours = (np.arange(bins) // bins_per_hour) % 24
+            hour_sums = np.zeros(24)
+            np.add.at(hour_sums, hours, bin_totals)
+            positives = cube[cube > 0]
+            return {
+                "od_sum": od_sum,
+                "total": float(od_sum.sum()),
+                "max_bin_total": float(bin_totals.max()),
+                "min_bin_total": float(bin_totals.min()),
+                "ingress": od_sum.sum(axis=1),
+                "egress": od_sum.sum(axis=0),
+                "top": [(int(i), float(od_sum.flat[i])) for i in order],
+                "hour_sums": hour_sums,
+                "value_quantiles": np.quantile(positives, quantiles),
+                "error_quantiles": np.quantile(errors, quantiles),
+                "error_mean": float(errors.mean()),
+                "error_min": float(errors.min()),
+                "error_max": float(errors.max()),
+            }
+
+        streamed_report = streamed()
+        oracle = materialised()
+        top = streamed_report["top_talkers"]
+        exact_match = (
+            streamed_report["overview"]["total_traffic"] == oracle["total"]
+            and streamed_report["overview"]["max_bin_total"] == oracle["max_bin_total"]
+            and streamed_report["overview"]["min_bin_total"] == oracle["min_bin_total"]
+            and np.array_equal(np.asarray(top["ingress_totals"]), oracle["ingress"])
+            and np.array_equal(np.asarray(top["egress_totals"]), oracle["egress"])
+            and [row["total"] for row in top["rows"]]
+            == [value for _, value in oracle["top"]]
+            and np.array_equal(
+                np.asarray(
+                    [row["total"] for row in streamed_report["traffic_by_hour"]["rows"]]
+                ),
+                oracle["hour_sums"][oracle["hour_sums"] != 0],
+            )
+            and streamed_report["error_quantiles"]["mean"]
+            == float(np.asarray(oracle["error_mean"]))
+            and streamed_report["error_quantiles"]["min"] == oracle["error_min"]
+            and streamed_report["error_quantiles"]["max"] == oracle["error_max"]
+        )
+        if not exact_match:
+            raise RuntimeError(
+                "report_marts diverged: the exact streaming marts must match "
+                "the materialised numpy reductions bit for bit"
+            )
+
+        def peak_of(func) -> int:
+            tracemalloc.start()
+            func()
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return peak
+
+        streamed_peak = peak_of(streamed)
+        materialised_peak = peak_of(materialised)
+        streamed_seconds = _best_of(streamed, repeat=repeat)
+        materialised_seconds = _best_of(materialised, repeat=repeat)
+
+    return BenchmarkRecord(
+        name="report_marts",
+        wall_seconds=streamed_seconds,
+        extra_info={
+            "bins": bins,
+            "nodes": nodes,
+            "shard_bins": shard_bins,
+            "materialised_seconds": materialised_seconds,
+            "speedup_vs_materialised": materialised_seconds
+            / max(streamed_seconds, 1e-12),
+            "streamed_peak_bytes": streamed_peak,
+            "materialised_peak_bytes": materialised_peak,
+            "peak_memory_ratio": materialised_peak / max(streamed_peak, 1),
+            "exact_marts_match_oracle": exact_match,
+        },
+    )
+
+
 def run_pytest_benchmarks(*, benchmarks_dir: str | Path = "benchmarks") -> list[BenchmarkRecord]:
     """Run the pytest-benchmark suite and adapt its JSON into records.
 
@@ -926,6 +1082,7 @@ def run_benchmarks(
         # so --repeat scales it down but never past two interleaved rounds.
         bench_sweep_grid(repeat=min(max(1, repeat), 2)),
         bench_sweep_executor(repeat=min(max(1, repeat), 2)),
+        bench_report_marts(repeat=repeat),
     ]
     if not quick:
         records.extend(run_pytest_benchmarks(benchmarks_dir=benchmarks_dir))

@@ -14,8 +14,11 @@ declarative scenario, ``sweep`` a priors × datasets grid through the
 :class:`repro.scenarios.ScenarioRunner` (``--jobs N`` runs grid cells in
 parallel with deterministic per-cell seeds; ``--executor remote
 --remote-workers HOST:PORT ...`` shards them across ``repro sweep-worker``
-daemons), ``sweep-worker`` runs one such daemon, ``bench`` records a
-``BENCH_<rev>.json`` performance snapshot, and ``list`` shows the
+daemons, or spawns loopback ones with ``--remote-workers spawn:N``),
+``sweep-worker`` runs one such daemon, ``bench`` records a
+``BENCH_<rev>.json`` performance snapshot, ``report`` renders streaming
+analytics marts over a sweep ``--spill-dir`` archive or a ``serve`` sink
+(one shard in memory at a time — never the series), and ``list`` shows the
 registered components of any kind together with their metadata.  Unknown
 component or experiment names exit with status 2 and a message naming the
 valid registered choices.
@@ -67,6 +70,10 @@ def _add_scenario_knobs(parser: argparse.ArgumentParser) -> None:
                              "loaded lazily (without it, runs spill "
                              "automatically to a temporary directory once "
                              "they reach the auto threshold)")
+    parser.add_argument("--spill-shard-bins", type=int, default=None,
+                        help="bins per spilled .npz shard (default 2048); "
+                             "smaller shards lower the peak memory of "
+                             "shard-at-a-time readers like `repro report`")
     _add_backend_knob(parser)
 
 
@@ -166,7 +173,18 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="HOST:PORT",
                        help="sweep-worker daemon addresses for --executor "
                             "remote; cells that spill need --spill-dir on "
-                            "storage shared with every worker")
+                            "storage shared with every worker.  The single "
+                            "token spawn:N instead launches N loopback "
+                            "worker subprocesses for the sweep and tears "
+                            "them down afterwards")
+    sweep.add_argument("--stream-results", action="store_true",
+                       help="stream cell results into the --spill-dir archive "
+                            "as they complete instead of accumulating them in "
+                            "the driver (requires --stream and --spill-dir): "
+                            "writes manifest.jsonl and merged marts.json, "
+                            "prints the archive summary, and keeps driver "
+                            "memory flat in the grid size; render details "
+                            "later with `repro report <spill-dir>`")
     _add_scenario_knobs(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
@@ -294,6 +312,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resumable checkpoint path; if the file exists the "
                             "service resumes from it (default: "
                             "<sink>/checkpoint.json for directory sinks)")
+    serve.add_argument("--estimate-shards", default=None,
+                       help="also append published estimates to estimate-*.npz "
+                            "shards under this directory (a `repro report`-"
+                            "readable sidecar; the JSONL sink remains the "
+                            "source of truth)")
     serve.add_argument("--max-bins", type=int, default=0,
                        help="stop after publishing this many bins (0 = run to "
                             "the end of the feed)")
@@ -303,6 +326,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0, help="measurement-noise seed")
     _add_backend_knob(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    report = subparsers.add_parser(
+        "report",
+        help="render streaming analytics marts over a result archive",
+        description=(
+            "Reduce a result archive — a `repro sweep --spill-dir` run "
+            "directory or a `repro serve` sink (JSONL, or its "
+            "--estimate-shards sidecar) — through single-pass streaming "
+            "marts: exact top talkers, hour-of-day rollups and totals, plus "
+            "sketched quantiles and per-OD CCDFs with committed error "
+            "bounds.  Shards are read one at a time, so peak memory is one "
+            "shard plus sketch state — the series itself is never "
+            "materialised."
+        ),
+    )
+    report.add_argument("archive", nargs="?", default=None,
+                        help="sweep --spill-dir directory, serve sink directory, "
+                             "or an estimates.jsonl file")
+    report.add_argument("--marts", nargs="+", default=None,
+                        help="marts to render (default: all registered; see "
+                             "`repro report --help-marts`)")
+    report.add_argument("--help-marts", action="store_true",
+                        help="list the registered marts and exit")
+    report.add_argument("--format", default="table", choices=["table", "json", "csv"],
+                        help="output rendering (default table)")
+    report.add_argument("--series", default="errors",
+                        help="per-bin scalar series consumed by series marts "
+                             "(default errors)")
+    report.add_argument("--window", nargs=2, type=int, metavar=("START", "STOP"),
+                        default=None,
+                        help="restrict the reduction to bins [START, STOP); "
+                             "only overlapping shards are read")
+    report.add_argument("--top", type=int, default=10,
+                        help="K for the top_talkers mart (default 10)")
+    report.add_argument("--bins-per-hour", type=int, default=None,
+                        help="bins per hour for traffic_by_hour (default 12, "
+                             "i.e. 300 s bins)")
+    report.add_argument("--epsilon", type=float, default=None,
+                        help="rank-error bound for sketched quantiles "
+                             "(default 0.005)")
+    report.set_defaults(handler=_cmd_report)
 
     lister = subparsers.add_parser(
         "list", help="list registered components (priors, datasets, ...)"
@@ -386,6 +450,7 @@ def _scenario_from_args(args: argparse.Namespace, *, dataset: str, prior: str) -
         stream=args.stream,
         chunk_bins=args.chunk_bins,
         spill_dir=getattr(args, "spill_dir", None),
+        spill_shard_bins=getattr(args, "spill_shard_bins", None),
         backend=args.backend,
     )
 
@@ -410,23 +475,70 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("error: --jobs must be >= 0", file=sys.stderr)
         return USAGE_EXIT_CODE
     executor = args.executor
+    spawned = None
     if executor == "remote":
         if not args.remote_workers:
-            print("error: --executor remote requires --remote-workers HOST:PORT ...",
-                  file=sys.stderr)
+            print("error: --executor remote requires --remote-workers HOST:PORT ... "
+                  "(or spawn:N)", file=sys.stderr)
             return USAGE_EXIT_CODE
         from repro.scenarios import RemoteExecutor
 
-        executor = RemoteExecutor(args.remote_workers)
+        spawn_tokens = [w for w in args.remote_workers if w.startswith("spawn:")]
+        if spawn_tokens:
+            if len(args.remote_workers) > 1:
+                print("error: --remote-workers spawn:N cannot be mixed with "
+                      "explicit worker addresses", file=sys.stderr)
+                return USAGE_EXIT_CODE
+            try:
+                count = int(spawn_tokens[0].split(":", 1)[1])
+            except ValueError:
+                count = 0
+            if count < 1:
+                print("error: --remote-workers spawn:N needs an integer N >= 1",
+                      file=sys.stderr)
+                return USAGE_EXIT_CODE
+            from repro.scenarios import SpawnedWorkers
+
+            spawned = SpawnedWorkers(count)
+            executor = RemoteExecutor(spawned.addresses)
+        else:
+            executor = RemoteExecutor(args.remote_workers)
     elif args.remote_workers:
         print("error: --remote-workers only applies to --executor remote",
               file=sys.stderr)
         return USAGE_EXIT_CODE
-    result = ScenarioRunner().sweep(
-        priors=args.priors, datasets=args.datasets, base=base, jobs=jobs,
-        executor=None if executor == "auto" else executor,
-    )
+    sink = None
+    if args.stream_results:
+        if not args.stream or not args.spill_dir:
+            print("error: --stream-results requires --stream and --spill-dir "
+                  "(the archive the cells stream into)", file=sys.stderr)
+            if spawned is not None:
+                spawned.close()
+            return USAGE_EXIT_CODE
+        from repro.marts import ArchiveResultSink
+
+        sink = ArchiveResultSink(args.spill_dir)
+    try:
+        result = ScenarioRunner().sweep(
+            priors=args.priors, datasets=args.datasets, base=base, jobs=jobs,
+            executor=None if executor == "auto" else executor,
+            result_sink=sink,
+        )
+    finally:
+        if spawned is not None:
+            spawned.close()
     grid = len(args.priors) * len(args.datasets)
+    if sink is not None:
+        import json
+
+        cells_ok = result.timing.get("cells_ok", 0)
+        print(f"=== sweep: {len(args.priors)} priors x {len(args.datasets)} datasets "
+              f"({cells_ok}/{grid} cells ok, streamed to {args.spill_dir}) ===")
+        print(json.dumps(sink.summary, indent=2))
+        for cell, message in result.failures:
+            print(f"failed: {cell.label}: {message}", file=sys.stderr)
+        print(f"render marts with: repro report {args.spill_dir}", file=sys.stderr)
+        return 0 if cells_ok else USAGE_EXIT_CODE
     print(f"=== sweep: {len(args.priors)} priors x {len(args.datasets)} datasets "
           f"({len(result.results)}/{grid} cells ok) ===")
     print(result.format_table())
@@ -513,6 +625,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sink=args.sink,
         status_path=status_path,
         checkpoint_path=checkpoint_path,
+        estimate_shards_dir=args.estimate_shards,
         max_bins=args.max_bins if args.max_bins > 0 else None,
     )
     previous = {
@@ -534,6 +647,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         + (" [stopped by signal]" if status.stopped_by_signal else ""),
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.marts import MART_REGISTRY, build_report, open_archive, render_report
+
+    if args.help_marts:
+        for name in sorted(MART_REGISTRY):
+            spec = MART_REGISTRY[name]
+            print(f"  {name:<18}[{spec.kind}]  {spec.description}")
+        return 0
+    if args.archive is None:
+        print("error: report needs an archive (or --help-marts)", file=sys.stderr)
+        return USAGE_EXIT_CODE
+    options = {"top_k": args.top}
+    if args.bins_per_hour is not None:
+        options["bins_per_hour"] = args.bins_per_hour
+    if args.epsilon is not None:
+        options["epsilon"] = args.epsilon
+    window = None
+    if args.window is not None:
+        start, stop = args.window
+        if start < 0 or stop <= start:
+            print("error: --window needs 0 <= START < STOP", file=sys.stderr)
+            return USAGE_EXIT_CODE
+        window = (start, stop)
+    archive = open_archive(args.archive)
+    report = build_report(
+        archive,
+        marts=args.marts,
+        series=args.series,
+        window=window,
+        options=options,
+    )
+    print(render_report(report, args.format))
     return 0
 
 
@@ -608,8 +756,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 _SUBCOMMANDS = frozenset(
-    {"run", "estimate", "sweep", "sweep-worker", "bench", "serve", "list",
-     "-h", "--help"}
+    {"run", "estimate", "sweep", "sweep-worker", "bench", "serve", "report",
+     "list", "-h", "--help"}
 )
 
 

@@ -41,6 +41,7 @@ from repro._validation import require_probability
 
 __all__ = [
     "SeriesAccumulator",
+    "sequential_bin_fold",
     "streaming_rel_l2_temporal_error",
     "streaming_rel_l2_spatial_error",
     "streaming_gravity_errors",
@@ -48,6 +49,25 @@ __all__ = [
 ]
 
 _EPS = 1e-12
+
+
+def sequential_bin_fold(into: np.ndarray, block: np.ndarray) -> np.ndarray:
+    """Fold ``block`` into ``into`` bin by bin, in place.
+
+    Numpy's reduction over the leading axis of a C-contiguous cube is a
+    plain sequential loop (pairwise summation only kicks in for contiguous
+    last-axis reductions), so adding the bins one at a time — in order —
+    produces *bitwise* the same array as ``full_series.sum(axis=0)`` no
+    matter how the series is chunked.  Chunk-level partial sums
+    (``into += block.sum(axis=0)``) do not have this property: they
+    re-associate the additions at chunk boundaries.  Every streamed
+    reduction that promises bit-identity with its materialised oracle
+    (:class:`SeriesAccumulator`, the exact marts of :mod:`repro.marts`)
+    folds through this helper.
+    """
+    for plane in block:
+        into += plane
+    return into
 
 
 @dataclass
@@ -90,11 +110,35 @@ class SeriesAccumulator:
                 f"expected a (T, {self.n_nodes}, {self.n_nodes}) block, got {block.shape}"
             )
         self.n_bins += block.shape[0]
-        self.od_sum += block.sum(axis=0)
-        self.od_sumsq += (block**2).sum(axis=0)
+        # Folding bin by bin keeps the per-OD sums independent of the
+        # chunking: any partition of the series accumulates to bitwise the
+        # same totals as one shot over the materialised cube.
+        sequential_bin_fold(self.od_sum, block)
+        sequential_bin_fold(self.od_sumsq, block**2)
         self._ingress.append(block.sum(axis=2))
         self._egress.append(block.sum(axis=1))
         self._norms.append(np.sqrt((block**2).sum(axis=(1, 2))))
+
+    def merge(self, other: "SeriesAccumulator") -> "SeriesAccumulator":
+        """Fold another accumulator covering the bins that follow ours.
+
+        Shard-parallel reductions build one accumulator per shard and merge
+        them in bin order; per-bin state concatenates and the per-OD sums
+        add, so the merged statistics match a single sequential pass up to
+        the chunk-boundary re-association of the OD sums.
+        """
+        if other.n_nodes != self.n_nodes:
+            raise ValidationError(
+                f"cannot merge accumulators over {other.n_nodes} and "
+                f"{self.n_nodes} nodes"
+            )
+        self.n_bins += other.n_bins
+        self.od_sum += other.od_sum
+        self.od_sumsq += other.od_sumsq
+        self._ingress.extend(other._ingress)
+        self._egress.extend(other._egress)
+        self._norms.extend(other._norms)
+        return self
 
     # -- derived statistics --------------------------------------------------
 

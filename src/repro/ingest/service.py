@@ -196,6 +196,15 @@ class IngestService:
         ``estimates.jsonl``), an explicit ``.jsonl`` path, or ``-``/None
         for stdout.  ``checkpoint_path`` enables resume: if the file exists
         at start the service continues from its ``next_bin``.
+    estimate_shards_dir:
+        Optional sidecar archive: every published estimate chunk is also
+        appended to ``estimate-*.npz`` shards under this directory (via
+        :class:`~repro.scenarios.spill.ShardWriter`, resuming at the
+        checkpoint's bin), so ``repro report`` can reduce the served
+        estimates shard-at-a-time without re-parsing the JSONL sink.  The
+        JSONL sink stays the source of truth — the sidecar is flushed at
+        checkpoints and clean stops, and readers fall back to the JSONL
+        when the shards lag behind it.
     max_bins:
         Stop after publishing this many bins (None = run to end of source).
     """
@@ -220,6 +229,8 @@ class IngestService:
         sink=None,
         status_path=None,
         checkpoint_path=None,
+        estimate_shards_dir=None,
+        estimate_shard_bins: int = 2048,
         max_bins: int | None = None,
         origin: float = 0.0,
     ):
@@ -245,6 +256,9 @@ class IngestService:
         self._sink = sink
         self._status_path = Path(status_path) if status_path else None
         self._checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self._estimate_shards_dir = Path(estimate_shards_dir) if estimate_shards_dir else None
+        self._estimate_shard_bins = int(estimate_shard_bins)
+        self._estimate_writer = None
         self._max_bins = int(max_bins) if max_bins else None
         self._origin = float(origin)
         self._stop_requested = False
@@ -429,6 +443,8 @@ class IngestService:
                 }
             )
         publisher.flush()
+        if self._estimate_writer is not None:
+            self._estimate_writer(start_bin, estimates)
         self.status.bins_published += t_chunk
         self.status.next_bin = start_bin + t_chunk
         self._record_stage("publish", time.perf_counter() - started)
@@ -451,6 +467,12 @@ class IngestService:
             start_bin=self._start_bin,
         )
         publisher = _Publisher(self._sink)
+        if self._estimate_shards_dir is not None:
+            from repro.scenarios.spill import SpillStore
+
+            self._estimate_writer = SpillStore(
+                self._estimate_shards_dir, shard_bins=self._estimate_shard_bins
+            ).writer("estimate", start_bin=self._start_bin)
         pending: list[tuple[int, np.ndarray]] = []
 
         def budget_left() -> int | None:
@@ -498,6 +520,8 @@ class IngestService:
                 drain([], final=True)
             self.status.stopped_by_signal = self._stop_requested
             self._write_status(binner, queue_depth=len(pending))
+            if self._estimate_writer is not None:
+                self._estimate_writer.flush()
             self._write_checkpoint()
         finally:
             publisher.close()

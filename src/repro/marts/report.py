@@ -1,0 +1,164 @@
+"""``repro report``: render marts from an archive, one shard at a time.
+
+The builder instantiates the requested marts per cell, drives each cell's
+series through them via :meth:`ArchiveCell.iter_blocks` (bounded memory —
+one decompressed shard plus sketch state), and renders the collected
+results as a text table, JSON or CSV.  Cube marts consume the
+``estimate`` series; series marts consume a per-bin scalar series
+(``errors`` by default).  Cells lacking the needed series skip the mart
+with a note instead of failing the report.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.errors import ValidationError
+from repro.marts.marts import MART_REGISTRY, build_mart
+
+__all__ = ["build_report", "render_report", "REPORT_FORMATS"]
+
+REPORT_FORMATS = ("table", "json", "csv")
+
+
+def build_report(
+    archive,
+    *,
+    marts=None,
+    series: str = "errors",
+    window: tuple | None = None,
+    options: dict | None = None,
+) -> dict:
+    """Reduce every cell of ``archive`` through the requested marts.
+
+    ``marts`` defaults to the full registry; ``window`` restricts the
+    reduction to bins ``[start, stop)`` (only overlapping shards are
+    read); ``options`` carries mart knobs (``top_k``, ``bins_per_hour``,
+    ``epsilon``).
+    """
+    names = list(marts) if marts else sorted(MART_REGISTRY)
+    for name in names:
+        if name not in MART_REGISTRY:
+            known = ", ".join(sorted(MART_REGISTRY))
+            raise ValidationError(f"unknown mart {name!r} (registered: {known})")
+    start, stop = (0, None) if window is None else (int(window[0]), int(window[1]))
+    cells = []
+    for cell in archive.cells:
+        rendered: dict = {}
+        skipped: dict = {}
+        for name in names:
+            spec = MART_REGISTRY[name]
+            source = "estimate" if spec.kind == "cube" else series
+            if not cell.has_series(source):
+                skipped[name] = f"series {source!r} not in archive"
+                continue
+            mart = build_mart(name, options)
+            mart.consume(cell.iter_blocks(source, start, stop))
+            rendered[name] = mart.result()
+        cells.append(
+            {
+                "cell": cell.label,
+                "marts": rendered,
+                "skipped": skipped,
+                "metadata": cell.metadata,
+            }
+        )
+    return {
+        "archive": str(archive.directory),
+        "archive_kind": archive.kind,
+        "series": series,
+        "window": None if window is None else [start, stop],
+        "cells": cells,
+    }
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _render_rows(rows: list, indent: str) -> list:
+    """A small aligned table over a list of homogeneous dicts."""
+    if not rows:
+        return [f"{indent}(empty)"]
+    columns = list(rows[0])
+    table = [[_format_value(row[column]) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in table))
+        for i, column in enumerate(columns)
+    ]
+    out = [indent + "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))]
+    for line in table:
+        out.append(indent + "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(line)))
+    return out
+
+
+def _render_table(report: dict) -> str:
+    lines = [f"archive: {report['archive']} ({report['archive_kind']})"]
+    if report["window"]:
+        lines.append(f"window: bins [{report['window'][0]}, {report['window'][1]})")
+    for cell in report["cells"]:
+        lines.append("")
+        lines.append(f"== {cell['cell']} ==")
+        for name, result in cell["marts"].items():
+            lines.append(f"-- {name}")
+            for key, value in result.items():
+                if key == "rows":
+                    lines.extend(_render_rows(value, "   "))
+                elif isinstance(value, dict):
+                    rendered = ", ".join(
+                        f"{inner}={_format_value(val)}" for inner, val in value.items()
+                    )
+                    lines.append(f"   {key}: {rendered}")
+                elif isinstance(value, list):
+                    lines.append(
+                        f"   {key}: [{', '.join(_format_value(item) for item in value)}]"
+                    )
+                else:
+                    lines.append(f"   {key}: {_format_value(value)}")
+        for name, reason in cell["skipped"].items():
+            lines.append(f"-- {name}: skipped ({reason})")
+    return "\n".join(lines)
+
+
+def _flatten(prefix: str, value, sink: list) -> None:
+    if isinstance(value, dict):
+        for key, inner in value.items():
+            _flatten(f"{prefix}.{key}" if prefix else str(key), inner, sink)
+    elif isinstance(value, list):
+        for index, inner in enumerate(value):
+            _flatten(f"{prefix}[{index}]", inner, sink)
+    else:
+        sink.append((prefix, value))
+
+
+def _render_csv(report: dict) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["cell", "mart", "field", "value"])
+    for cell in report["cells"]:
+        for name, result in cell["marts"].items():
+            flat: list = []
+            _flatten("", result, flat)
+            for field, value in flat:
+                writer.writerow([cell["cell"], name, field, value])
+    return buffer.getvalue()
+
+
+def render_report(report: dict, format: str = "table") -> str:
+    if format == "table":
+        return _render_table(report)
+    if format == "json":
+        return json.dumps(report, indent=2, sort_keys=True)
+    if format == "csv":
+        return _render_csv(report)
+    raise ValidationError(
+        f"unknown report format {format!r} (choose from {', '.join(REPORT_FORMATS)})"
+    )

@@ -1,0 +1,109 @@
+"""Result sinks: sweep cells that stream to disk instead of the driver.
+
+:class:`ArchiveResultSink` implements the
+:class:`~repro.scenarios.executors.ResultSink` seam: each completed cell
+is reduced to an ``error_quantiles`` mart partial and a manifest line the
+moment it arrives, and the result object is dropped — the driver retains
+``O(sketch)`` state per cell instead of the cell's series.  Combined with
+``--spill-dir`` (where the series shards already live on disk) a sweep's
+peak driver memory no longer grows with the grid.
+
+Layout written under the archive directory::
+
+    manifest.jsonl            one line per cell: label, ok, bins, mean error
+    marts.json                merged archive-level error_quantiles mart
+    <cell-label>/marts.json   per-cell mart partial (state + rendered result)
+
+`repro report` reads the shards; the manifest and partials make the
+archive self-describing without re-reducing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.marts.marts import ErrorQuantilesMart
+from repro.scenarios.spill import SpilledSeries
+
+__all__ = ["ArchiveResultSink"]
+
+
+def _safe_label(label: str) -> str:
+    return label.replace("/", "-").replace(" ", "_")
+
+
+class ArchiveResultSink:
+    """Stream sweep cell results into a spill-archive directory.
+
+    Calls arrive through ``SweepPlan.emit`` which serialises them under
+    the plan lock, so the sink needs no locking of its own; cells may
+    arrive in any order (parallel executors emit on completion).
+    """
+
+    def __init__(self, directory, *, epsilon: float = 0.005):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.epsilon = float(epsilon)
+        self._manifest = (self.directory / "manifest.jsonl").open("w")
+        self._quantiles = ErrorQuantilesMart(epsilon=epsilon)
+        self.cells_ok = 0
+        self.cells_failed = 0
+        self.summary: dict | None = None
+
+    def cell(self, index: int, scenario, result, message: str | None) -> None:
+        """Reduce one completed cell and append its manifest line."""
+        entry: dict = {
+            "index": int(index),
+            "label": scenario.label,
+            "dataset": scenario.dataset,
+            "prior": scenario.prior,
+            "ok": message is None,
+        }
+        if message is not None:
+            self.cells_failed += 1
+            entry["message"] = message
+        else:
+            self.cells_ok += 1
+            mart = ErrorQuantilesMart(epsilon=self.epsilon)
+            errors = result.errors
+            if isinstance(errors, SpilledSeries):
+                mart.consume(errors.iter_blocks())
+                entry["spilled_shards"] = len(errors.paths)
+            else:
+                mart.update(0, np.asarray(errors, dtype=float))
+            rendered = mart.result()
+            entry["bins"] = rendered["bins"]
+            entry["mean_error"] = rendered["mean"]
+            cell_dir = self.directory / _safe_label(scenario.label)
+            cell_dir.mkdir(parents=True, exist_ok=True)
+            partial = {
+                "error_quantiles": {"state": mart.to_state(), "result": rendered}
+            }
+            (cell_dir / "marts.json").write_text(json.dumps(partial, indent=2))
+            self._quantiles.merge(mart)
+        self._manifest.write(json.dumps(entry) + "\n")
+        self._manifest.flush()
+
+    def finish(self) -> dict:
+        """Persist the merged archive-level mart and close the manifest."""
+        rendered = self._quantiles.result()
+        payload = {
+            "cells_ok": self.cells_ok,
+            "cells_failed": self.cells_failed,
+            "error_quantiles": {
+                "state": self._quantiles.to_state(),
+                "result": rendered,
+            },
+        }
+        (self.directory / "marts.json").write_text(json.dumps(payload, indent=2))
+        self._manifest.close()
+        self.summary = {
+            "archive": str(self.directory),
+            "cells_ok": self.cells_ok,
+            "cells_failed": self.cells_failed,
+            "error_quantiles": rendered,
+        }
+        return self.summary

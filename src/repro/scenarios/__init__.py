@@ -25,7 +25,10 @@ from repro.scenarios.executors import (
     InProcessExecutor,
     LocalPoolExecutor,
     RemoteExecutor,
+    ResultSink,
+    SpawnedWorkers,
     SweepExecutor,
+    SweepPlan,
     run_sweep_worker,
 )
 from repro.scenarios.runner import (
@@ -37,7 +40,12 @@ from repro.scenarios.runner import (
     run_scenario,
     sweep,
 )
-from repro.scenarios.spill import SPILL_AUTO_MIN_BINS, SpilledSeries, SpillStore
+from repro.scenarios.spill import (
+    SPILL_AUTO_MIN_BINS,
+    SpilledSeries,
+    SpillStore,
+    discover_spilled_series,
+)
 
 __all__ = [
     "Scenario",
@@ -46,12 +54,16 @@ __all__ = [
     "SweepResult",
     "SweepSharedState",
     "SweepExecutor",
+    "SweepPlan",
     "InProcessExecutor",
     "LocalPoolExecutor",
     "RemoteExecutor",
+    "ResultSink",
+    "SpawnedWorkers",
     "run_sweep_worker",
     "SpilledSeries",
     "SpillStore",
+    "discover_spilled_series",
     "SPILL_AUTO_MIN_BINS",
     "FIT_CACHE_BYTES",
     "run_scenario",

@@ -34,13 +34,17 @@ arbitrary code.
 
 from __future__ import annotations
 
+import os
 import pickle
+import re
 import socket
 import struct
+import subprocess
 import sys
 import threading
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.errors import ExecutorError, ValidationError
 
@@ -49,7 +53,9 @@ __all__ = [
     "InProcessExecutor",
     "LocalPoolExecutor",
     "RemoteExecutor",
+    "ResultSink",
     "SweepPlan",
+    "SpawnedWorkers",
     "resolve_executor",
     "run_sweep_worker",
     "SWEEP_WORKER_PROTOCOL",
@@ -60,26 +66,88 @@ __all__ = [
 SWEEP_WORKER_PROTOCOL = 1
 
 
+class ResultSink:
+    """Protocol: consume sweep cell results the moment they complete.
+
+    A sink turns the sweep's result channel from *accumulate in the
+    driver* into *stream to the consumer*: executors deliver each cell
+    through :meth:`SweepPlan.emit` as it finishes (in completion order,
+    not grid order), the sink reduces or persists it, and the driver keeps
+    none of it — :class:`~repro.scenarios.runner.SweepResult.results`
+    stays empty.  Delivery is serialised under the plan lock, so sinks
+    need no locking of their own.  :meth:`finish` runs once after every
+    cell is delivered.
+    """
+
+    def cell(self, index: int, scenario, result, message: str | None) -> None:
+        raise NotImplementedError
+
+    def finish(self):  # pragma: no cover - optional hook
+        return None
+
+
 @dataclass
 class SweepPlan:
     """One sweep's work, handed from the runner to its executor.
 
     ``cells`` are already week-pinned and in grid order; ``jobs`` is the
     *requested* worker count before any local CPU capping (remote executors
-    may honour widths a single host cannot).
+    may honour widths a single host cannot).  ``sink`` is the optional
+    :class:`ResultSink`; executors must deliver every cell exactly once
+    through :meth:`emit`, which either forwards the result to the sink
+    (streaming mode — the plan retains only the message) or records it for
+    :meth:`outcomes` (accumulate mode, the historical behaviour).
     """
 
     runner: object
     cells: list
     jobs: int = 1
+    sink: ResultSink | None = None
+    _lock: threading.Lock = field(default_factory=threading.Lock, init=False, repr=False)
+    _outcomes: list = field(default_factory=list, init=False, repr=False)
+    _delivered: list = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self):
+        self._outcomes = [None] * len(self.cells)
+        self._delivered = [False] * len(self.cells)
+
+    def emit(self, index: int, result, message: str | None) -> None:
+        """Deliver one completed cell (thread-safe, exactly once per cell)."""
+        with self._lock:
+            if self._delivered[index]:
+                raise ExecutorError(
+                    f"cell {index} was delivered twice — executor bug"
+                )
+            self._delivered[index] = True
+            if self.sink is not None:
+                self.sink.cell(index, self.cells[index], result, message)
+                self._outcomes[index] = (None, message)
+            else:
+                self._outcomes[index] = (result, message)
+
+    def pending(self) -> list:
+        """Indices of cells not yet delivered."""
+        with self._lock:
+            return [at for at, done in enumerate(self._delivered) if not done]
+
+    def outcomes(self) -> list[tuple]:
+        """The per-cell ``(result, message)`` list, once all cells delivered."""
+        missing = self.pending()
+        if missing:
+            raise ExecutorError(f"executor delivered no outcome for cells {missing}")
+        return list(self._outcomes)
 
 
 class SweepExecutor:
     """Protocol: turn a :class:`SweepPlan` into per-cell outcomes.
 
-    ``execute`` returns one ``(result, message)`` pair per cell, in cell
-    order — ``message`` is ``None`` for a success and the error string for
-    a failed cell, exactly like the serial path produces.
+    ``execute`` delivers every cell through :meth:`SweepPlan.emit` as it
+    completes and returns ``plan.outcomes()`` — one ``(result, message)``
+    pair per cell, in cell order, where ``message`` is ``None`` for a
+    success and the error string for a failed cell, exactly like the
+    serial path produces.  (When the plan carries a sink, the emitted
+    results stream to it instead and the returned pairs hold ``None``
+    results.)
     """
 
     name = "executor"
@@ -97,7 +165,10 @@ class InProcessExecutor(SweepExecutor):
         from repro.scenarios.runner import SweepSharedState
 
         shared = SweepSharedState()
-        return [plan.runner._run_cell_guarded(cell, shared=shared) for cell in plan.cells]
+        for index, cell in enumerate(plan.cells):
+            result, message = plan.runner._run_cell_guarded(cell, shared=shared)
+            plan.emit(index, result, message)
+        return plan.outcomes()
 
 
 class LocalPoolExecutor(SweepExecutor):
@@ -117,7 +188,8 @@ class LocalPoolExecutor(SweepExecutor):
         self.jobs = int(jobs)
 
     def execute(self, plan: SweepPlan) -> list[tuple]:
-        return plan.runner._sweep_parallel(plan.cells, self.jobs)
+        plan.runner._sweep_parallel(plan.cells, self.jobs, emit=plan.emit)
+        return plan.outcomes()
 
 
 def resolve_executor(spec, *, jobs: int | None, n_cells: int, cpu_count: int | None):
@@ -294,14 +366,12 @@ class RemoteExecutor(SweepExecutor):
         for at, batch in enumerate(batches):
             assignments[at % len(self._addresses)].append(batch)
 
-        outcomes: list[tuple | None] = [None] * len(plan.cells)
         errors: list[str] = []
-        collected: list[tuple] = []
         lock = threading.Lock()
         threads = [
             threading.Thread(
                 target=self._drive_worker,
-                args=(address, assigned, datasets, runner, collected, errors, lock),
+                args=(address, assigned, datasets, runner, plan, errors, lock),
                 name=f"sweep-remote-{address[0]}:{address[1]}",
             )
             for address, assigned in zip(self._addresses, assignments)
@@ -315,19 +385,17 @@ class RemoteExecutor(SweepExecutor):
             raise ExecutorError(
                 "remote sweep failed: " + "; ".join(sorted(errors))
             )
-        for index, result, message in collected:
-            outcomes[index] = (result, message)
-        missing = [at for at, outcome in enumerate(outcomes) if outcome is None]
+        missing = plan.pending()
         if missing:
             raise ExecutorError(
                 f"remote sweep returned no outcome for cells {missing}; "
                 "client and workers are likely running different versions "
                 f"(protocol {SWEEP_WORKER_PROTOCOL})"
             )
-        return outcomes
+        return plan.outcomes()
 
     def _drive_worker(
-        self, address, assigned, datasets, runner, collected, errors, lock
+        self, address, assigned, datasets, runner, plan, errors, lock
     ) -> None:
         label = f"{address[0]}:{address[1]}"
         try:
@@ -386,8 +454,10 @@ class RemoteExecutor(SweepExecutor):
                             f"{reply.get('error', 'unknown error')}"
                         )
                     return
-                with lock:
-                    collected.extend(reply["outcomes"])
+                # Stream each cell to the plan as its batch lands, instead
+                # of accumulating the whole grid's results in this driver.
+                for index, result, message in reply["outcomes"]:
+                    plan.emit(index, result, message)
         except (OSError, EOFError, pickle.PickleError, struct.error) as exc:
             with lock:
                 errors.append(f"worker {label} failed ({type(exc).__name__}: {exc})")
@@ -509,3 +579,115 @@ def run_sweep_worker(
                 return 0
     finally:
         server.close()
+
+
+# ---------------------------------------------------------------------------
+# loopback worker launching (``--remote-workers spawn:N``)
+# ---------------------------------------------------------------------------
+
+_LISTENING_LINE = re.compile(r"listening on ([0-9.]+:\d+)")
+
+
+class SpawnedWorkers:
+    """N loopback ``repro sweep-worker`` subprocesses, torn down on close.
+
+    The launch helper behind ``--remote-workers spawn:N``: each worker
+    binds an ephemeral loopback port and announces it on stdout; the
+    parsed addresses are ready for :class:`RemoteExecutor`.  Workers serve
+    one connection (one sweep) and exit on their own; :meth:`close` waits
+    briefly, then terminates stragglers (e.g. workers the sweep never
+    connected to).  Loopback only — multi-host fleets manage their own
+    daemon lifecycle.
+
+    Usable as a context manager::
+
+        with SpawnedWorkers(4) as workers:
+            runner.sweep(..., executor=RemoteExecutor(workers.addresses))
+    """
+
+    def __init__(self, count: int, *, startup_timeout: float = 30.0):
+        if count < 1:
+            raise ValidationError("spawn:N needs N >= 1 workers")
+        self._startup_timeout = float(startup_timeout)
+        self._processes: list[subprocess.Popen] = []
+        self.addresses: list[str] = []
+        # The workers must import the same repro package as this process,
+        # whether it came from an install or a PYTHONPATH=src checkout.
+        package_root = str(Path(__file__).resolve().parent.parent.parent)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        try:
+            for _ in range(int(count)):
+                process = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "sweep-worker",
+                        "--port",
+                        "0",
+                        "--max-connections",
+                        "1",
+                    ],
+                    stdout=subprocess.PIPE,
+                    text=True,
+                    env=env,
+                )
+                self._processes.append(process)
+            for process in self._processes:
+                self.addresses.append(self._read_address(process))
+        except Exception:
+            self.close()
+            raise
+
+    def _read_address(self, process: subprocess.Popen) -> str:
+        """Parse the daemon's ``listening on HOST:PORT`` announcement."""
+        holder: dict = {}
+
+        def reader():
+            holder["line"] = process.stdout.readline()
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        thread.join(self._startup_timeout)
+        line = holder.get("line", "")
+        match = _LISTENING_LINE.search(line or "")
+        if match is None:
+            raise ExecutorError(
+                f"spawned sweep-worker did not announce an address within "
+                f"{self._startup_timeout:.0f}s (got {line!r})"
+            )
+        return match.group(1)
+
+    def close(self, *, timeout: float = 10.0) -> None:
+        """Reap every worker: brief grace for natural exit, then terminate.
+
+        Workers that served their sweep exit on their own almost
+        immediately; the terminate path is for workers the sweep never
+        connected to (more workers than batches) or a failed launch.
+        """
+        for process in self._processes:
+            try:
+                process.wait(timeout=min(timeout, 2.0))
+            except subprocess.TimeoutExpired:
+                process.terminate()
+                try:
+                    process.wait(timeout=timeout)
+                except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                    process.kill()
+                    process.wait()
+            if process.stdout is not None:
+                process.stdout.close()
+        self._processes = []
+
+    def __enter__(self) -> "SpawnedWorkers":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.addresses)

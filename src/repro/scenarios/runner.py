@@ -35,7 +35,7 @@ import sys
 import tempfile
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -554,11 +554,20 @@ class ScenarioRunner:
         the streaming path deliberately avoids materialising unless a run
         directory was asked for explicitly.
         """
+        shard_bins = scenario.spill_shard_bins or 2048
         if scenario.spill_dir is not None:
             safe_label = scenario.label.replace("/", "-").replace(" ", "_")
-            return SpillStore(os.path.join(scenario.spill_dir, safe_label)), True
+            return (
+                SpillStore(
+                    os.path.join(scenario.spill_dir, safe_label), shard_bins=shard_bins
+                ),
+                True,
+            )
         if n_bins >= SPILL_AUTO_MIN_BINS:
-            return SpillStore(tempfile.mkdtemp(prefix="repro-spill-")), False
+            return (
+                SpillStore(tempfile.mkdtemp(prefix="repro-spill-"), shard_bins=shard_bins),
+                False,
+            )
         return None, False
 
     def _run_streaming(self, scenario: Scenario, *, data=None, shared=None) -> ScenarioResult:
@@ -774,6 +783,7 @@ class ScenarioRunner:
         base: Scenario | dict | None = None,
         jobs: int | None = 1,
         executor=None,
+        result_sink=None,
         **overrides,
     ) -> "SweepResult":
         """Run the full priors × datasets grid and collect a comparison.
@@ -814,6 +824,13 @@ class ScenarioRunner:
             (worker, column); workers only run the estimation pipelines,
             reusing the column's measurement system, baseline estimate and
             memoised streamed fits across its cells.
+        result_sink:
+            A :class:`~repro.scenarios.executors.ResultSink` receiving each
+            cell's result the moment it completes, after which the result
+            is **dropped** — the returned :class:`SweepResult` carries only
+            failures and timing, and the driver's memory no longer grows
+            with the grid.  ``None`` (the default) accumulates results in
+            the driver as before.
         overrides:
             Additional Scenario fields applied on top of ``base``.
         """
@@ -832,6 +849,7 @@ class ScenarioRunner:
             cells,
             jobs=jobs,
             executor=executor,
+            result_sink=result_sink,
             priors=tuple(canonical_name(prior) for prior in priors),
             datasets=tuple(canonical_name(dataset) for dataset in datasets),
         )
@@ -842,6 +860,7 @@ class ScenarioRunner:
         *,
         jobs: int | None = 1,
         executor=None,
+        result_sink=None,
         priors: Sequence[str] | None = None,
         datasets: Sequence[str] | None = None,
     ) -> "SweepResult":
@@ -879,14 +898,21 @@ class ScenarioRunner:
             else cell
             for cell in cells
         ]
-        outcomes, executor_name = self._execute_cells(cells, jobs=jobs, executor=executor)
+        outcomes, executor_name = self._execute_cells(
+            cells, jobs=jobs, executor=executor, sink=result_sink
+        )
         results: list[ScenarioResult] = []
         failures: list[tuple[Scenario, str]] = []
+        cells_ok = 0
         for cell, (result, message) in zip(cells, outcomes):
             if message is None:
-                results.append(result)
+                cells_ok += 1
+                if result_sink is None:
+                    results.append(result)
             else:
                 failures.append((cell, message))
+        if result_sink is not None and hasattr(result_sink, "finish"):
+            result_sink.finish()
         wall = time.perf_counter() - started
         worker_peaks = [
             result.timing["peak_rss_mb"]
@@ -896,10 +922,12 @@ class ScenarioRunner:
         timing = {
             "total": wall,
             "cells": len(cells),
+            "cells_ok": cells_ok,
             "cells_per_second": len(cells) / wall if wall > 0 else float("nan"),
             "peak_rss_mb": _peak_rss_mb(),
             "worker_peak_rss_mb": max(worker_peaks) if worker_peaks else None,
             "executor": executor_name,
+            "streamed": result_sink is not None,
         }
         return SweepResult(
             priors=(
@@ -917,14 +945,18 @@ class ScenarioRunner:
             timing=timing,
         )
 
-    def _execute_cells(self, cells: list[Scenario], *, jobs, executor) -> tuple[list, str]:
+    def _execute_cells(
+        self, cells: list[Scenario], *, jobs, executor, sink=None
+    ) -> tuple[list, str]:
         """Resolve the executor and run the cells; returns (outcomes, name)."""
         from repro.scenarios import executors as executors_module
 
         resolved, plan_jobs = executors_module.resolve_executor(
             executor, jobs=jobs, n_cells=len(cells), cpu_count=os.cpu_count()
         )
-        plan = executors_module.SweepPlan(runner=self, cells=cells, jobs=plan_jobs)
+        plan = executors_module.SweepPlan(
+            runner=self, cells=cells, jobs=plan_jobs, sink=sink
+        )
         return resolved.execute(plan), resolved.name
 
     def _run_cell_guarded(self, cell: Scenario, *, dataset=None, shared=None) -> tuple:
@@ -1025,8 +1057,8 @@ class ScenarioRunner:
         items = [(index, cell, key) for index, (cell, key) in enumerate(zip(cells, keys))]
         return items, datasets
 
-    def _sweep_parallel(self, cells: list[Scenario], jobs: int) -> list[tuple]:
-        """Run the grid cells in worker processes, preserving grid order.
+    def _sweep_parallel(self, cells: list[Scenario], jobs: int, *, emit) -> None:
+        """Run the grid cells in worker processes, emitting on completion.
 
         Every distinct dataset column is prepared once here in the parent
         (:meth:`_prepare_sweep_items`) and handed to each worker process at
@@ -1038,6 +1070,12 @@ class ScenarioRunner:
         are scheduled in column groups so each worker's shared state reuses
         the column's measurement system, baseline estimate and memoised
         streamed fits.
+
+        ``emit`` (normally :meth:`SweepPlan.emit`) receives each cell's
+        ``(index, result, message)`` as its batch completes — not in grid
+        order — so a plan with a :class:`ResultSink` streams results out of
+        the driver while other batches are still running.  On pool failure
+        the serial fallback only re-runs the cells no batch delivered.
         """
         items, datasets = self._prepare_sweep_items(cells)
         batches = self._column_batches(items, jobs)
@@ -1047,17 +1085,19 @@ class ScenarioRunner:
         ]
         shm_payload, shm_blocks = _export_datasets_shm(datasets)
         pickled = datasets if shm_payload is None else {}
+        delivered: set[int] = set()
         try:
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(batches)),
                 initializer=_init_sweep_worker,
                 initargs=(pickled, shm_payload),
             ) as pool:
-                outcomes: list[tuple] = [None] * len(cells)
-                for batch_results in pool.map(_run_sweep_batch, payloads):
-                    for index, result, message in batch_results:
-                        outcomes[index] = (result, message)
-                return outcomes
+                futures = [pool.submit(_run_sweep_batch, payload) for payload in payloads]
+                for future in as_completed(futures):
+                    for index, result, message in future.result():
+                        delivered.add(index)
+                        emit(index, result, message)
+                return
         except (OSError, PermissionError, RuntimeError) as exc:
             warnings.warn(
                 f"parallel sweep unavailable ({type(exc).__name__}: {exc}); "
@@ -1066,7 +1106,11 @@ class ScenarioRunner:
                 stacklevel=3,
             )
             shared = SweepSharedState()
-            return [self._run_cell_guarded(cell, shared=shared) for cell in cells]
+            for index, cell in enumerate(cells):
+                if index in delivered:
+                    continue
+                result, message = self._run_cell_guarded(cell, shared=shared)
+                emit(index, result, message)
         finally:
             _release_shm_blocks(shm_blocks, unlink=True)
 

@@ -79,6 +79,11 @@ class Scenario:
         a fresh temporary run directory — once the estimated series reaches
         :data:`repro.scenarios.spill.SPILL_AUTO_MIN_BINS` bins; in-memory
         (non-streaming) runs never spill.
+    spill_shard_bins:
+        Bins per ``.npz`` shard when spilling (default 2048).  Smaller
+        shards lower the peak memory of shard-at-a-time consumers
+        (``repro report``, :meth:`~repro.scenarios.spill.SpilledSeries.iter_blocks`)
+        at the cost of more files.
     backend:
         Registered compute backend (:mod:`repro.backend`) the run executes
         on: prior fitting and the estimation stages run against that array
@@ -106,6 +111,7 @@ class Scenario:
     stream: bool = False
     chunk_bins: int | None = None
     spill_dir: str | None = None
+    spill_shard_bins: int | None = None
     backend: str | None = None
     name: str | None = None
 
@@ -149,6 +155,13 @@ class Scenario:
             raise ValidationError("chunk_bins must be >= 1 (or None for the default)")
         if self.spill_dir is not None and not self.stream:
             raise ValidationError("spill_dir only applies to streaming scenarios (set stream)")
+        if self.spill_shard_bins is not None:
+            if not self.stream:
+                raise ValidationError(
+                    "spill_shard_bins only applies to streaming scenarios (set stream)"
+                )
+            if self.spill_shard_bins < 1:
+                raise ValidationError("spill_shard_bins must be >= 1 (or None for the default)")
         return self
 
     def to_dict(self) -> dict:

@@ -121,6 +121,7 @@ class TestMicroBenchmarks:
             "ingest_throughput",
             "sweep_grid",
             "sweep_executor",
+            "report_marts",
         ]
 
     def test_bench_sweep_grid_record(self, small_sweep_grid):
@@ -153,7 +154,7 @@ class TestBenchCLI:
         out = capsys.readouterr().out
         assert "ic_series_kernel" in out
         payload = json.loads((tmp_path / "BENCH_test.json").read_text())
-        assert len(payload["benchmarks"]) == 9
+        assert len(payload["benchmarks"]) == 10
         by_name = {bench["name"]: bench for bench in payload["benchmarks"]}
         assert "numpy" in by_name["ic_series_backend"]["extra_info"]["backends"]
         assert by_name["sweep_grid"]["extra_info"]["matches_serial_bitwise"] is True

@@ -1,0 +1,232 @@
+"""Tests for streamed sweep results: the :class:`ResultSink` seam.
+
+The contract under test is the one ``--stream-results`` advertises:
+
+* a sink receives every cell's result the moment it completes and the
+  driver keeps nothing — the returned :class:`SweepResult` carries only
+  failures and timing, and the sunk results are **bit-identical** to an
+  accumulate-in-driver sweep on every executor path;
+* :meth:`SweepPlan.emit` delivers each cell exactly once (double delivery
+  is an executor bug and raises);
+* :class:`ArchiveResultSink` turns a streamed sweep's spill directory
+  into a self-describing report archive (manifest, per-cell and merged
+  mart partials) that ``repro report`` renders;
+* ``--remote-workers spawn:N`` launches loopback workers whose sweep
+  matches the serial run bitwise, and the CLI rejects malformed
+  spawn/stream flags with usage errors.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import ExecutorError
+from repro.marts import ArchiveResultSink, build_report, open_archive
+from repro.scenarios import (
+    LocalPoolExecutor,
+    RemoteExecutor,
+    Scenario,
+    ScenarioRunner,
+    SpawnedWorkers,
+    SweepPlan,
+)
+
+GRID = {"priors": ["gravity", "measured"], "datasets": ["geant"]}
+BASE = Scenario(dataset="geant", prior="gravity", n_weeks=1, bins_per_week=24)
+STREAMED = Scenario(
+    dataset="geant", prior="stable_f", stream=True, bins_per_week=36, max_bins=4
+)
+
+
+class CollectingSink:
+    """Reference in-memory sink: records every delivery verbatim."""
+
+    def __init__(self):
+        self.calls = []
+        self.finished = False
+
+    def cell(self, index, scenario, result, message):
+        self.calls.append((index, scenario, result, message))
+
+    def finish(self):
+        self.finished = True
+
+
+# ---------------------------------------------------------------------------
+# the sink seam on the in-process path
+# ---------------------------------------------------------------------------
+
+class TestSinkSemantics:
+    def test_streamed_results_bit_identical_to_accumulated(self):
+        baseline = ScenarioRunner().sweep(base=BASE, **GRID)
+        sink = CollectingSink()
+        streamed = ScenarioRunner().sweep(base=BASE, result_sink=sink, **GRID)
+
+        assert streamed.results == []  # nothing materialises in the driver
+        assert sink.finished
+        assert streamed.timing["streamed"] is True
+        assert streamed.timing["cells_ok"] == 2
+        assert baseline.timing["streamed"] is False
+        assert [index for index, *_ in sink.calls] == [0, 1]
+        for index, scenario, result, message in sink.calls:
+            assert message is None
+            reference = baseline.result_for(scenario.dataset, scenario.prior)
+            assert np.array_equal(result.errors, reference.errors)
+
+    def test_pool_executor_streams_bitwise_identically(self):
+        baseline = ScenarioRunner().sweep(base=BASE, **GRID)
+        runner = ScenarioRunner()
+        cells = [
+            BASE.replace(dataset=dataset, prior=prior)
+            for dataset in GRID["datasets"]
+            for prior in GRID["priors"]
+        ]
+        sink = CollectingSink()
+        plan = SweepPlan(runner=runner, cells=cells, jobs=2, sink=sink)
+        outcomes = LocalPoolExecutor(jobs=2).execute(plan)
+        assert [outcome for outcome, _ in outcomes] == [None, None]
+        assert sorted(index for index, *_ in sink.calls) == [0, 1]
+        for index, scenario, result, message in sink.calls:
+            assert message is None
+            reference = baseline.result_for(scenario.dataset, scenario.prior)
+            assert np.array_equal(result.errors, reference.errors)
+
+
+class TestPlanEmit:
+    def test_emit_is_exactly_once(self):
+        plan = SweepPlan(runner=None, cells=[BASE, BASE.replace(prior="measured")], jobs=1)
+        plan.emit(0, "result", None)
+        assert plan.pending() == [1]
+        with pytest.raises(ExecutorError, match="delivered twice"):
+            plan.emit(0, "result", None)
+
+    def test_outcomes_requires_every_cell(self):
+        plan = SweepPlan(runner=None, cells=[BASE, BASE.replace(prior="measured")], jobs=1)
+        plan.emit(1, None, "boom")
+        with pytest.raises(ExecutorError, match="delivered no outcome"):
+            plan.outcomes()
+        plan.emit(0, "result", None)
+        assert plan.outcomes() == [("result", None), (None, "boom")]
+
+    def test_sink_mode_forwards_and_drops(self):
+        sink = CollectingSink()
+        plan = SweepPlan(runner=None, cells=[BASE], jobs=1, sink=sink)
+        plan.emit(0, "result", None)
+        assert sink.calls == [(0, BASE, "result", None)]
+        assert plan.outcomes() == [(None, None)]  # the result was not retained
+
+
+# ---------------------------------------------------------------------------
+# the archive sink over a streamed spilled sweep
+# ---------------------------------------------------------------------------
+
+class TestArchiveResultSink:
+    def test_streamed_sweep_builds_a_reportable_archive(self, tmp_path):
+        archive_dir = tmp_path / "arch"
+        sink = ArchiveResultSink(archive_dir)
+        result = ScenarioRunner().sweep(
+            priors=["stable_f"],
+            datasets=["geant"],
+            base=STREAMED.replace(spill_dir=str(archive_dir)),
+            result_sink=sink,
+        )
+        assert result.failures == []
+        assert sink.cells_ok == 1
+        assert sink.summary["cells_ok"] == 1
+
+        manifest = [
+            json.loads(line)
+            for line in (archive_dir / "manifest.jsonl").read_text().splitlines()
+        ]
+        assert len(manifest) == 1
+        assert manifest[0]["ok"] and manifest[0]["label"] == "geant/stable_f"
+        assert manifest[0]["bins"] == 4
+        top_level = json.loads((archive_dir / "marts.json").read_text())
+        assert top_level["error_quantiles"]["result"]["bins"] == 4
+
+        archive = open_archive(archive_dir)
+        report = build_report(archive, marts=["overview", "error_quantiles"])
+        (cell,) = report["cells"]
+        assert cell["cell"] == "geant-stable_f"
+        assert cell["marts"]["overview"]["n_bins"] == 4
+        assert cell["marts"]["error_quantiles"]["bins"] == 4
+        assert cell["metadata"]["ok"] is True
+
+        # The archive-level quantiles equal reducing the plain run's errors.
+        plain = ScenarioRunner().run(STREAMED)
+        errors = np.asarray(plain.errors, dtype=float)
+        assert top_level["error_quantiles"]["result"]["mean"] == pytest.approx(
+            errors.mean(), rel=1e-12
+        )
+
+    def test_failed_cell_lands_in_manifest_not_marts(self, tmp_path):
+        sink = ArchiveResultSink(tmp_path)
+        sink.cell(0, BASE, None, "synthetic failure")
+        sink.finish()
+        assert sink.cells_failed == 1
+        (entry,) = [
+            json.loads(line)
+            for line in (tmp_path / "manifest.jsonl").read_text().splitlines()
+        ]
+        assert entry["ok"] is False
+        assert entry["message"] == "synthetic failure"
+        summary = json.loads((tmp_path / "marts.json").read_text())
+        assert summary["error_quantiles"]["result"]["bins"] == 0
+
+
+# ---------------------------------------------------------------------------
+# spawned loopback workers
+# ---------------------------------------------------------------------------
+
+class TestSpawnedWorkers:
+    def test_spawned_remote_sweep_matches_serial_bitwise(self):
+        serial = ScenarioRunner().sweep(base=BASE, **GRID)
+        with SpawnedWorkers(2) as workers:
+            assert len(workers) == 2
+            for address in workers.addresses:
+                host, port = address.rsplit(":", 1)
+                assert host and int(port) > 0
+            remote = ScenarioRunner().sweep(
+                base=BASE, executor=RemoteExecutor(workers.addresses), jobs=2, **GRID
+            )
+        assert remote.timing["executor"] == "remote"
+        for prior in GRID["priors"]:
+            left = serial.result_for("geant", prior)
+            right = remote.result_for("geant", prior)
+            assert np.array_equal(left.errors, right.errors)
+
+    def test_spawn_count_validated(self):
+        with pytest.raises(Exception, match="N >= 1"):
+            SpawnedWorkers(0)
+
+
+# ---------------------------------------------------------------------------
+# CLI guard rails
+# ---------------------------------------------------------------------------
+
+class TestSweepCliErrors:
+    ARGS = ["sweep", "--priors", "gravity", "--datasets", "geant"]
+
+    def test_spawn_cannot_mix_with_addresses(self, capsys):
+        code = cli_main(
+            self.ARGS
+            + ["--executor", "remote", "--remote-workers", "spawn:2", "localhost:1"]
+        )
+        assert code == 2
+        assert "cannot be mixed" in capsys.readouterr().err
+
+    def test_spawn_count_must_be_positive(self, capsys):
+        for token in ("spawn:0", "spawn:x"):
+            code = cli_main(
+                self.ARGS + ["--executor", "remote", "--remote-workers", token]
+            )
+            assert code == 2
+            assert "N >= 1" in capsys.readouterr().err
+
+    def test_stream_results_requires_stream_and_spill_dir(self, capsys):
+        assert cli_main(self.ARGS + ["--stream-results"]) == 2
+        assert "--stream-results requires" in capsys.readouterr().err
