@@ -1,0 +1,112 @@
+"""Validate the schema of a ``--trace``/``REPRO_TRACE`` JSONL span trace.
+
+Used by the CI ``obs-smoke`` job: after a traced run, assert the trace file
+is well-formed — every line parses as JSON, the header is a ``trace_start``
+event, every span carries the required fields with sane values, every
+``parent`` reference resolves to a span in the same file, and all events
+share one trace id (the distributed-sweep merge invariant).
+
+    PYTHONPATH=src python scripts/check_trace.py TRACE.jsonl \
+        --require sweep_cell --require remote_worker
+
+``--require NAME`` (repeatable) additionally asserts at least one span with
+that name is present.  ``--min-workers N`` asserts the spans come from at
+least N distinct workers.  Exits non-zero with a message on the first
+violation; prints a one-line summary on success.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SPAN_REQUIRED = {"trace", "span", "name", "worker", "pid", "start_unix", "duration_s"}
+
+
+def check_trace(path: str, *, require: list[str], min_workers: int) -> str:
+    """Return a summary line, or raise ``ValueError`` naming the violation."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: not valid JSON: {exc}") from exc
+            if not isinstance(event, dict) or "kind" not in event:
+                raise ValueError(f"{path}:{line_no}: event has no 'kind' field")
+            events.append((line_no, event))
+    if not events:
+        raise ValueError(f"{path}: trace is empty")
+    if events[0][1]["kind"] != "trace_start":
+        raise ValueError(
+            f"{path}: first event is {events[0][1]['kind']!r}, expected 'trace_start'"
+        )
+
+    spans = [(line_no, e) for line_no, e in events if e["kind"] == "span"]
+    if not spans:
+        raise ValueError(f"{path}: no span events")
+    trace_ids = {e["trace"] for _, e in events if "trace" in e}
+    if len(trace_ids) != 1:
+        raise ValueError(f"{path}: {len(trace_ids)} distinct trace ids (expected 1)")
+
+    span_ids = set()
+    for line_no, span in spans:
+        missing = SPAN_REQUIRED - span.keys()
+        if missing:
+            raise ValueError(f"{path}:{line_no}: span missing fields {sorted(missing)}")
+        if not isinstance(span["name"], str) or not span["name"]:
+            raise ValueError(f"{path}:{line_no}: span name must be a non-empty string")
+        if float(span["duration_s"]) < 0:
+            raise ValueError(f"{path}:{line_no}: negative duration_s")
+        if float(span["start_unix"]) <= 0:
+            raise ValueError(f"{path}:{line_no}: non-positive start_unix")
+        if span["span"] in span_ids:
+            raise ValueError(f"{path}:{line_no}: duplicate span id {span['span']!r}")
+        span_ids.add(span["span"])
+    for line_no, span in spans:
+        parent = span.get("parent")
+        if parent is not None and parent not in span_ids:
+            raise ValueError(
+                f"{path}:{line_no}: parent {parent!r} does not resolve to a span"
+            )
+
+    names = {span["name"] for _, span in spans}
+    for name in require:
+        if name not in names:
+            raise ValueError(
+                f"{path}: required span {name!r} not found (have: {sorted(names)})"
+            )
+    workers = {span["worker"] for _, span in spans}
+    if len(workers) < min_workers:
+        raise ValueError(
+            f"{path}: spans from {len(workers)} worker(s), expected >= {min_workers}"
+        )
+    return (
+        f"{path}: ok — {len(spans)} spans, {len(names)} span names, "
+        f"{len(workers)} worker(s), trace {next(iter(trace_ids))}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="+", help="JSONL trace files to validate")
+    parser.add_argument("--require", action="append", default=[], metavar="NAME",
+                        help="assert at least one span with this name (repeatable)")
+    parser.add_argument("--min-workers", type=int, default=1,
+                        help="assert spans from at least this many workers")
+    args = parser.parse_args(argv)
+    for path in args.traces:
+        try:
+            print(check_trace(path, require=args.require, min_workers=args.min_workers))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,10 +18,14 @@ daemons, or spawns loopback ones with ``--remote-workers spawn:N``),
 ``sweep-worker`` runs one such daemon, ``bench`` records a
 ``BENCH_<rev>.json`` performance snapshot, ``report`` renders streaming
 analytics marts over a sweep ``--spill-dir`` archive or a ``serve`` sink
-(one shard in memory at a time — never the series), and ``list`` shows the
-registered components of any kind together with their metadata.  Unknown
-component or experiment names exit with status 2 and a message naming the
-valid registered choices.
+(one shard in memory at a time — never the series), ``trace`` inspects,
+merges and exports the JSONL span traces that ``--trace FILE`` (or
+``REPRO_TRACE=FILE``) records on run/estimate/sweep/serve (``--metrics-out
+FILE`` writes Prometheus metrics at exit; ``repro serve --metrics-port N``
+additionally serves them live), and ``list`` shows the registered
+components of any kind together with their metadata.  Unknown component
+or experiment names exit with status 2 and a message naming the valid
+registered choices.
 
 The bare legacy form ``python -m repro.cli fig3`` (no subcommand) is still
 accepted and treated as ``run fig3``.
@@ -63,6 +67,7 @@ def _add_scenario_knobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset-seed", type=int, default=None,
                         help="override the dataset generation seed")
     _add_streaming_knobs(parser)
+    _add_obs_knobs(parser)
     parser.add_argument("--spill-dir", default=None,
                         help="out-of-core results for --stream runs: per-bin "
                              "error series and the estimate cube are written "
@@ -82,6 +87,24 @@ def _add_backend_knob(parser: argparse.ArgumentParser) -> None:
                         help="registered compute backend to run the kernels on "
                              "(see `repro list backends`; overrides "
                              "REPRO_BACKEND, default numpy)")
+
+
+def _add_obs_knobs(parser: argparse.ArgumentParser, *, metrics_port: bool = False) -> None:
+    """The observability opt-ins shared by run/estimate/sweep/serve."""
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a JSONL span trace of this command to FILE "
+                             "(REPRO_TRACE=FILE does the same; distributed "
+                             "sweeps merge worker spans into the one file; "
+                             "inspect with `repro trace summary FILE`)")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write final counters/gauges/latency quantiles as "
+                             "Prometheus text exposition to FILE on exit")
+    if metrics_port:
+        parser.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                            help="serve live Prometheus metrics on "
+                                 "http://127.0.0.1:PORT/metrics while the "
+                                 "service runs (0 = pick an ephemeral port; "
+                                 "the bound address is printed to stderr)")
 
 
 def _add_streaming_knobs(parser: argparse.ArgumentParser) -> None:
@@ -118,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--bins-per-week", type=int, default=None,
                      help="override the number of time bins per week")
     _add_streaming_knobs(run)
+    _add_obs_knobs(run)
     _add_backend_knob(run)
     run.set_defaults(handler=_cmd_run)
 
@@ -324,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="relative std of simulated SNMP noise on the binned "
                             "measurements (deterministic per chunk)")
     serve.add_argument("--seed", type=int, default=0, help="measurement-noise seed")
+    _add_obs_knobs(serve, metrics_port=True)
     _add_backend_knob(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -368,6 +393,28 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 0.005)")
     report.set_defaults(handler=_cmd_report)
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect, merge or export JSONL span traces",
+        description=(
+            "Work with the JSONL traces written by --trace/REPRO_TRACE: "
+            "`summary` prints the per-span-name time breakdown and the "
+            "share of wall time the spans account for, `merge` combines "
+            "trace files (e.g. per-host worker traces) into one "
+            "time-ordered file, and `export` converts traces to Chrome "
+            "trace_event JSON for chrome://tracing / Perfetto."
+        ),
+    )
+    trace.add_argument("action", choices=["summary", "merge", "export"],
+                       help="summary: per-name totals and wall coverage; "
+                            "merge: combine JSONL traces; export: Chrome "
+                            "trace_event JSON")
+    trace.add_argument("files", nargs="+", metavar="TRACE.jsonl",
+                       help="one or more JSONL trace files")
+    trace.add_argument("-o", "--output", default=None,
+                       help="output path for merge/export (default stdout)")
+    trace.set_defaults(handler=_cmd_trace)
+
     lister = subparsers.add_parser(
         "list", help="list registered components (priors, datasets, ...)"
     )
@@ -381,6 +428,60 @@ def build_parser() -> argparse.ArgumentParser:
     lister.set_defaults(handler=_cmd_list)
 
     return parser
+
+
+# ---------------------------------------------------------------------------
+# observability wiring
+# ---------------------------------------------------------------------------
+
+def _observability(args: argparse.Namespace, command: str):
+    """Context manager arming tracing/metrics for one command, per its flags.
+
+    ``--trace FILE`` (or ``REPRO_TRACE=FILE``) installs a file-backed
+    ambient tracer wrapped in a root ``repro`` span so the whole command is
+    covered; ``--metrics-out``/``--metrics-port`` install an ambient
+    :class:`~repro.obs.MetricsRegistry` (served live and/or written at
+    exit).  Commands without the flags get the null twins: the context is
+    always legal to enter and costs nothing when observability is off.
+    """
+    import os
+    from contextlib import ExitStack, contextmanager
+
+    from repro.obs import (
+        TRACE_ENV,
+        MetricsRegistry,
+        MetricsServer,
+        Tracer,
+        use_metrics,
+        use_tracer,
+    )
+
+    trace_path = getattr(args, "trace", None) or os.environ.get(TRACE_ENV) or None
+    metrics_out = getattr(args, "metrics_out", None)
+    metrics_port = getattr(args, "metrics_port", None)
+
+    @contextmanager
+    def _armed():
+        with ExitStack() as stack:
+            registry = None
+            if metrics_out or metrics_port is not None:
+                registry = MetricsRegistry()
+                stack.enter_context(use_metrics(registry))
+                if metrics_port is not None:
+                    server = MetricsServer(registry, port=metrics_port)
+                    stack.callback(server.close)
+                    print(
+                        f"metrics: serving http://{server.host}:{server.port}/metrics",
+                        file=sys.stderr,
+                    )
+            if trace_path:
+                tracer = stack.enter_context(Tracer(trace_path))
+                stack.enter_context(use_tracer(tracer))
+                stack.enter_context(tracer.span("repro", command=command))
+            yield
+            if registry is not None and metrics_out:
+                registry.write_file(metrics_out)
+    return _armed()
 
 
 # ---------------------------------------------------------------------------
@@ -685,6 +786,48 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import (
+        chrome_trace,
+        load_trace_file,
+        merge_trace_files,
+        summarize_trace,
+        write_trace_file,
+    )
+
+    try:
+        events = (
+            merge_trace_files(args.files)
+            if len(args.files) > 1
+            else load_trace_file(args.files[0])
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return USAGE_EXIT_CODE
+    if args.action == "summary":
+        print(summarize_trace(events).format_table())
+        return 0
+    if args.action == "merge":
+        if args.output is None:
+            for event in events:
+                print(json.dumps(event))
+        else:
+            write_trace_file(events, args.output)
+            print(f"wrote {len(events)} events to {args.output}", file=sys.stderr)
+        return 0
+    payload = json.dumps(chrome_trace(events), indent=2)
+    if args.output is None:
+        print(payload)
+    else:
+        from pathlib import Path
+
+        Path(args.output).write_text(payload + "\n")
+        print(f"wrote Chrome trace to {args.output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     kinds = [args.kind] if args.kind else sorted(REGISTRIES)
     for index, kind in enumerate(kinds):
@@ -757,7 +900,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 _SUBCOMMANDS = frozenset(
     {"run", "estimate", "sweep", "sweep-worker", "bench", "serve", "report",
-     "list", "-h", "--help"}
+     "trace", "list", "-h", "--help"}
 )
 
 
@@ -782,7 +925,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.handler(args)
+        with _observability(args, args.command):
+            return args.handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return USAGE_EXIT_CODE

@@ -36,6 +36,7 @@ from repro.core.gravity import gravity_series_values
 from repro.core.ic_model import simplified_ic_series
 from repro.core.metrics import rel_l2_temporal_error
 from repro.errors import ValidationError
+from repro.obs import get_tracer
 from repro.streaming import as_chunk_stream, cache_chunks, zip_chunks
 from repro._validation import require_probability
 
@@ -333,32 +334,35 @@ def fit_stable_fp_streaming(
     errors = np.zeros(t_bins)
     converged = False
     previous = np.inf
-    for _ in range(max_iterations):
+    tracer = get_tracer()
+    for iteration in range(max_iterations):
         # Pass 1: solve activity per bin with the current (f, P), and
         # accumulate the contractions r_t = X_t A_t, s_t = X_t^T A_t that the
         # preference and forward-fraction updates need.
-        pinv_t = _activity_design_pinv(f, preference).T
-        activity = np.empty((t_bins, n))
-        r = np.empty((t_bins, n))
-        s = np.empty((t_bins, n))
-        for t0, block in stream.chunks():
-            stop = t0 + block.shape[0]
-            flat = block.reshape(block.shape[0], n * n)
-            chunk_activity = np.clip(flat @ pinv_t, 0.0, None)
-            activity[t0:stop] = chunk_activity
-            r[t0:stop] = np.einsum("tij,tj->ti", block, chunk_activity)
-            s[t0:stop] = np.einsum("tij,ti->tj", block, chunk_activity)
-        w2 = weights**2
-        b = f * np.einsum("t,ti->i", w2, s) + (1.0 - f) * np.einsum("t,ti->i", w2, r)
-        preference = _solve_preference_from_normal(activity, weights, f, b)
-        f = _solve_forward_fraction_reduced(activity, preference, r, s, weights, (low, high))
+        with tracer.span("fit_als_pass", iteration=iteration, phase="solve"):
+            pinv_t = _activity_design_pinv(f, preference).T
+            activity = np.empty((t_bins, n))
+            r = np.empty((t_bins, n))
+            s = np.empty((t_bins, n))
+            for t0, block in stream.chunks():
+                stop = t0 + block.shape[0]
+                flat = block.reshape(block.shape[0], n * n)
+                chunk_activity = np.clip(flat @ pinv_t, 0.0, None)
+                activity[t0:stop] = chunk_activity
+                r[t0:stop] = np.einsum("tij,tj->ti", block, chunk_activity)
+                s[t0:stop] = np.einsum("tij,ti->tj", block, chunk_activity)
+            w2 = weights**2
+            b = f * np.einsum("t,ti->i", w2, s) + (1.0 - f) * np.einsum("t,ti->i", w2, r)
+            preference = _solve_preference_from_normal(activity, weights, f, b)
+            f = _solve_forward_fraction_reduced(activity, preference, r, s, weights, (low, high))
 
         # Pass 2: score the updated parameters (per-bin errors are exact).
-        for t0, block in stream.chunks():
-            stop = t0 + block.shape[0]
-            predicted = simplified_ic_series(f, activity[t0:stop], preference)
-            errors[t0:stop] = rel_l2_temporal_error(block, predicted)
-        objective = float(np.sum(errors))
+        with tracer.span("fit_als_pass", iteration=iteration, phase="score"):
+            for t0, block in stream.chunks():
+                stop = t0 + block.shape[0]
+                predicted = simplified_ic_series(f, activity[t0:stop], preference)
+                errors[t0:stop] = rel_l2_temporal_error(block, predicted)
+            objective = float(np.sum(errors))
         history.append(objective)
         if previous - objective < tolerance:
             converged = True

@@ -20,6 +20,7 @@ from repro.errors import ValidationError
 from repro.estimation.ipf import iterative_proportional_fitting_series
 from repro.estimation.linear_system import LinkLoadSystem
 from repro.estimation.tomogravity import tomogravity_estimate
+from repro.obs import get_tracer
 from repro.estimation.entropy import entropy_estimate
 from repro.registry import register_estimator
 
@@ -304,39 +305,41 @@ class TMEstimator:
         errors = np.empty(t) if ground_truth_stream is not None else None
         prior_errors = np.empty(t) if ground_truth_stream is not None else None
         collected = np.empty((t, n, n)) if collect_estimate else None
+        tracer = get_tracer()
         for t0, blocks in zip_chunks(*streams):
             prior_block = blocks[0]
-            stop = t0 + prior_block.shape[0]
-            prior_vectors = prior_block.reshape(prior_block.shape[0], n * n)
-            if not backend.is_numpy:
-                estimates = self._estimate_on_device(
-                    backend,
-                    prior_vectors,
-                    device_matrix,
-                    backend.asarray(observations[t0:stop]),
-                    system.ingress[t0:stop],
-                    system.egress[t0:stop],
-                    n,
-                )
-            else:
-                if self._method == "tomogravity":
-                    refined = tomogravity_estimate(prior_vectors, matrix, observations[t0:stop])
+            with tracer.span("estimate_chunk", t0=t0, bins=int(prior_block.shape[0])):
+                stop = t0 + prior_block.shape[0]
+                prior_vectors = prior_block.reshape(prior_block.shape[0], n * n)
+                if not backend.is_numpy:
+                    estimates = self._estimate_on_device(
+                        backend,
+                        prior_vectors,
+                        device_matrix,
+                        backend.asarray(observations[t0:stop]),
+                        system.ingress[t0:stop],
+                        system.egress[t0:stop],
+                        n,
+                    )
                 else:
-                    refined = entropy_estimate(prior_vectors, matrix, observations[t0:stop])
-                estimates = iterative_proportional_fitting_series(
-                    refined.reshape(-1, n, n),
-                    system.ingress[t0:stop],
-                    system.egress[t0:stop],
-                    max_iterations=self._ipf_iterations,
-                )
-            if collected is not None:
-                collected[t0:stop] = estimates
-            if chunk_sink is not None:
-                chunk_sink(t0, estimates)
-            if errors is not None:
-                truth_block = blocks[1]
-                errors[t0:stop] = rel_l2_temporal_error(truth_block, estimates)
-                prior_errors[t0:stop] = rel_l2_temporal_error(truth_block, prior_block)
+                    if self._method == "tomogravity":
+                        refined = tomogravity_estimate(prior_vectors, matrix, observations[t0:stop])
+                    else:
+                        refined = entropy_estimate(prior_vectors, matrix, observations[t0:stop])
+                    estimates = iterative_proportional_fitting_series(
+                        refined.reshape(-1, n, n),
+                        system.ingress[t0:stop],
+                        system.egress[t0:stop],
+                        max_iterations=self._ipf_iterations,
+                    )
+                if collected is not None:
+                    collected[t0:stop] = estimates
+                if chunk_sink is not None:
+                    chunk_sink(t0, estimates)
+                if errors is not None:
+                    truth_block = blocks[1]
+                    errors[t0:stop] = rel_l2_temporal_error(truth_block, estimates)
+                    prior_errors[t0:stop] = rel_l2_temporal_error(truth_block, prior_block)
         estimate_series = (
             TrafficMatrixSeries(collected, prior_stream.nodes, bin_seconds=prior_stream.bin_seconds)
             if collected is not None

@@ -38,7 +38,6 @@ from __future__ import annotations
 import json
 import sys
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -49,16 +48,13 @@ from repro.estimation.linear_system import LinkLoadSystem
 from repro.estimation.pipeline import TMEstimator
 from repro.ingest.binner import FlowBinner
 from repro.ingest.rolling import PRIOR_MODES, RollingFitManager
+from repro.obs import MetricsRegistry, get_metrics, get_tracer
 from repro.streaming import ArrayChunkStream
 from repro.topology.routing import build_routing_matrix
 
 __all__ = ["IngestService", "ServiceStatus", "CHECKPOINT_FORMAT"]
 
 CHECKPOINT_FORMAT = "repro-ingest-checkpoint-v1"
-
-# Per-stage latency samples kept for the p50/p99 gauges: enough chunks to
-# smooth the quantiles, small enough that the window itself is O(KiB).
-STAGE_LATENCY_SAMPLES = 512
 
 
 def peak_rss_mb() -> float | None:
@@ -81,9 +77,11 @@ class ServiceStatus:
     the estimator has not published yet, the second the closed bins queued
     for the next estimation chunk.  Both stay near zero while the estimator
     keeps up with the feed and grow monotonically when it falls behind a
-    paced replay.  ``stage_latency`` holds per-chunk p50/p99 seconds for
-    each pipeline stage (over a bounded window of recent chunks), where
-    ``stage_seconds`` is cumulative.
+    paced replay.  ``feed_lag_seconds`` restates the watermark lag in feed
+    time (``bins_behind_watermark * bin_seconds``) so alert thresholds can
+    be written in seconds instead of bin counts.  ``stage_latency`` holds
+    per-chunk p50/p99 seconds for each pipeline stage (over a bounded
+    reservoir of recent chunks), where ``stage_seconds`` is cumulative.
     """
 
     bins_published: int = 0
@@ -95,6 +93,7 @@ class ServiceStatus:
     open_bins: int = 0
     queue_depth: int = 0
     bins_behind_watermark: int = 0
+    feed_lag_seconds: float = 0.0
     prior_mode: str = "gravity"
     prior_version: int = 0
     fit_forward_fraction: float | None = None
@@ -117,6 +116,7 @@ class ServiceStatus:
             "backpressure": {
                 "queue_depth": self.queue_depth,
                 "bins_behind_watermark": self.bins_behind_watermark,
+                "feed_lag_seconds": round(self.feed_lag_seconds, 3),
             },
             "prior": {
                 "mode": self.prior_mode,
@@ -207,6 +207,12 @@ class IngestService:
         when the shards lag behind it.
     max_bins:
         Stop after publishing this many bins (None = run to end of source).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` to record gauges,
+        counters and stage-latency histograms into.  Default: the ambient
+        registry when metrics are enabled (so ``--metrics-port`` scrapes
+        see the service's series), else a private registry that still
+        backs the status snapshot's latency quantiles.
     """
 
     def __init__(
@@ -233,6 +239,7 @@ class IngestService:
         estimate_shard_bins: int = 2048,
         max_bins: int | None = None,
         origin: float = 0.0,
+        metrics: MetricsRegistry | None = None,
     ):
         if tuple(source.nodes) != tuple(topology.nodes):
             raise ValidationError(
@@ -285,7 +292,17 @@ class IngestService:
                 preference=np.asarray(resumed_fit["preference"], dtype=float),
             )
         self.status = ServiceStatus(next_bin=self._start_bin)
-        self._stage_samples: dict[str, deque] = {}
+        # Stage latencies live in a metrics registry (bounded reservoir
+        # histograms) rather than unbounded sample lists; the registry also
+        # backs ``repro serve --metrics-port``.  An explicit registry wins;
+        # otherwise adopt the ambient one when metrics are enabled so CLI
+        # wiring sees the service's series, falling back to a private
+        # registry so the status snapshot works with observability off.
+        ambient = get_metrics()
+        self.metrics = metrics if metrics is not None else (
+            ambient if ambient.enabled else MetricsRegistry()
+        )
+        self._stage_names: list[str] = []
 
     # -- control -------------------------------------------------------------
 
@@ -345,24 +362,26 @@ class IngestService:
     # -- status --------------------------------------------------------------
 
     def _record_stage(self, stage: str, seconds: float) -> None:
-        """Accumulate one stage timing: cumulative total plus the p50/p99 window."""
+        """Accumulate one stage timing: cumulative total plus the quantile reservoir."""
         timings = self.status.stage_seconds
         timings[stage] = timings.get(stage, 0.0) + seconds
-        samples = self._stage_samples.get(stage)
-        if samples is None:
-            samples = self._stage_samples[stage] = deque(maxlen=STAGE_LATENCY_SAMPLES)
-        samples.append(seconds)
+        if stage not in self._stage_names:
+            self._stage_names.append(stage)
+        self.metrics.histogram("repro_serve_stage_latency_seconds", stage=stage).observe(seconds)
 
     def _stage_latency(self) -> dict:
-        return {
-            stage: {
-                "p50": float(np.percentile(np.asarray(samples), 50)),
-                "p99": float(np.percentile(np.asarray(samples), 99)),
-                "samples": len(samples),
-            }
-            for stage, samples in self._stage_samples.items()
-            if samples
-        }
+        latency = {}
+        for stage in self._stage_names:
+            snap = self.metrics.histogram(
+                "repro_serve_stage_latency_seconds", stage=stage
+            ).snapshot()
+            if snap["count"]:
+                latency[stage] = {
+                    "p50": snap["p50"],
+                    "p99": snap["p99"],
+                    "samples": snap["count"],
+                }
+        return latency
 
     def _write_status(self, binner: FlowBinner, *, queue_depth: int = 0) -> None:
         counters = binner.counters()
@@ -379,6 +398,9 @@ class IngestService:
         status.bins_behind_watermark = max(
             0, counters["max_bin_seen"] - binner.watermark_bins - status.next_bin
         )
+        # The same lag restated in feed time, so alerting thresholds can be
+        # phrased in seconds regardless of the deployment's bin width.
+        status.feed_lag_seconds = status.bins_behind_watermark * self._bin_seconds
         active = self._fits.active
         status.prior_mode = active.mode
         status.prior_version = active.version
@@ -387,11 +409,44 @@ class IngestService:
         status.refits = self._fits.refits
         status.stage_latency = self._stage_latency()
         status.peak_rss_mb = peak_rss_mb()
+        self._sync_metrics(status, counters)
         if self._status_path is not None:
             self._status_path.parent.mkdir(parents=True, exist_ok=True)
             tmp = self._status_path.with_suffix(self._status_path.suffix + ".tmp")
             tmp.write_text(json.dumps(status.to_dict(), indent=2))
             tmp.replace(self._status_path)
+
+    def _sync_metrics(self, status: ServiceStatus, counters: dict) -> None:
+        """Mirror the status snapshot into the metrics registry.
+
+        Gauges track the latest value; the two lag series additionally feed
+        histograms so a scrape exposes quantiles of the lag *distribution*
+        over the run, not just the instantaneous reading.  Monotonic binner
+        totals use ``set_total`` — the binner already owns the cumulative
+        count, re-counting increments here would double it on resume.
+        """
+        metrics = self.metrics
+        metrics.gauge("repro_serve_queue_depth").set(status.queue_depth)
+        metrics.gauge("repro_serve_bins_behind_watermark").set(status.bins_behind_watermark)
+        metrics.gauge("repro_serve_feed_lag_seconds").set(status.feed_lag_seconds)
+        metrics.histogram("repro_serve_bins_behind_watermark_window").observe(
+            float(status.bins_behind_watermark)
+        )
+        metrics.histogram("repro_serve_feed_lag_seconds_window").observe(
+            status.feed_lag_seconds
+        )
+        metrics.counter("repro_serve_bins_published_total").set_total(status.bins_published)
+        metrics.counter("repro_serve_records_binned_total").set_total(counters["records_binned"])
+        metrics.counter("repro_serve_records_dropped_late_total").set_total(
+            counters["records_dropped_late"]
+        )
+        metrics.counter("repro_serve_records_skipped_total").set_total(
+            counters["records_skipped"]
+        )
+        metrics.gauge("repro_serve_open_bins").set(status.open_bins)
+        metrics.counter("repro_serve_refits_total").set_total(status.refits)
+        if status.peak_rss_mb is not None:
+            metrics.gauge("repro_serve_peak_rss_mb").set(status.peak_rss_mb)
 
     # -- the loop ------------------------------------------------------------
 
@@ -399,61 +454,67 @@ class IngestService:
         n = len(self._topology.nodes)
         block = np.stack(matrices)
         t_chunk = block.shape[0]
+        tracer = get_tracer()
 
-        started = time.perf_counter()
-        link_loads = block.reshape(t_chunk, n * n) @ self._routing_t
-        ingress = block.sum(axis=2)
-        egress = block.sum(axis=1)
-        if self._noise_std > 0:
-            rng = np.random.default_rng([self._seed, int(start_bin)])
-            link_loads = link_loads * rng.normal(1.0, self._noise_std, size=link_loads.shape)
-            ingress = ingress * rng.normal(1.0, self._noise_std, size=ingress.shape)
-            egress = egress * rng.normal(1.0, self._noise_std, size=egress.shape)
-        system = LinkLoadSystem(
-            routing=self._routing, link_loads=link_loads, ingress=ingress, egress=egress
-        )
-        self._record_stage("measure", time.perf_counter() - started)
-
-        started = time.perf_counter()
-        active = self._fits.active
-        prior_block = self._fits.prior_values(ingress, egress)
-        prior_stream = ArrayChunkStream(
-            prior_block,
-            self._topology.nodes,
-            bin_seconds=self._bin_seconds,
-            chunk_bins=t_chunk,
-        )
-        self._record_stage("prior", time.perf_counter() - started)
-
-        started = time.perf_counter()
-        result = self._estimator.estimate_stream(system, prior_stream, collect_estimate=True)
-        self._record_stage("estimate", time.perf_counter() - started)
-
-        started = time.perf_counter()
-        estimates = result.estimate.values
-        for offset in range(t_chunk):
-            index = start_bin + offset
-            publisher.publish(
-                {
-                    "bin": index,
-                    "time": self._origin + index * self._bin_seconds,
-                    "prior": active.mode,
-                    "prior_version": active.version,
-                    "estimate": estimates[offset].tolist(),
-                }
+        with tracer.span("measure", start_bin=start_bin, bins=t_chunk):
+            started = time.perf_counter()
+            link_loads = block.reshape(t_chunk, n * n) @ self._routing_t
+            ingress = block.sum(axis=2)
+            egress = block.sum(axis=1)
+            if self._noise_std > 0:
+                rng = np.random.default_rng([self._seed, int(start_bin)])
+                link_loads = link_loads * rng.normal(1.0, self._noise_std, size=link_loads.shape)
+                ingress = ingress * rng.normal(1.0, self._noise_std, size=ingress.shape)
+                egress = egress * rng.normal(1.0, self._noise_std, size=egress.shape)
+            system = LinkLoadSystem(
+                routing=self._routing, link_loads=link_loads, ingress=ingress, egress=egress
             )
-        publisher.flush()
-        if self._estimate_writer is not None:
-            self._estimate_writer(start_bin, estimates)
-        self.status.bins_published += t_chunk
-        self.status.next_bin = start_bin + t_chunk
-        self._record_stage("publish", time.perf_counter() - started)
+            self._record_stage("measure", time.perf_counter() - started)
+
+        with tracer.span("prior", start_bin=start_bin):
+            started = time.perf_counter()
+            active = self._fits.active
+            prior_block = self._fits.prior_values(ingress, egress)
+            prior_stream = ArrayChunkStream(
+                prior_block,
+                self._topology.nodes,
+                bin_seconds=self._bin_seconds,
+                chunk_bins=t_chunk,
+            )
+            self._record_stage("prior", time.perf_counter() - started)
+
+        with tracer.span("estimate", start_bin=start_bin, bins=t_chunk):
+            started = time.perf_counter()
+            result = self._estimator.estimate_stream(system, prior_stream, collect_estimate=True)
+            self._record_stage("estimate", time.perf_counter() - started)
+
+        with tracer.span("bin_publish", start_bin=start_bin, bins=t_chunk):
+            started = time.perf_counter()
+            estimates = result.estimate.values
+            for offset in range(t_chunk):
+                index = start_bin + offset
+                publisher.publish(
+                    {
+                        "bin": index,
+                        "time": self._origin + index * self._bin_seconds,
+                        "prior": active.mode,
+                        "prior_version": active.version,
+                        "estimate": estimates[offset].tolist(),
+                    }
+                )
+            publisher.flush()
+            if self._estimate_writer is not None:
+                self._estimate_writer(start_bin, estimates)
+            self.status.bins_published += t_chunk
+            self.status.next_bin = start_bin + t_chunk
+            self._record_stage("publish", time.perf_counter() - started)
 
         # Observe *after* publishing: a re-fit triggered by these bins swaps
         # the active prior atomically for subsequent chunks only.
-        started = time.perf_counter()
-        self._fits.observe(start_bin, block)
-        self._record_stage("fit", time.perf_counter() - started)
+        with tracer.span("fit_observe", start_bin=start_bin):
+            started = time.perf_counter()
+            self._fits.observe(start_bin, block)
+            self._record_stage("fit", time.perf_counter() - started)
 
     def run(self) -> ServiceStatus:
         """Drive the feed to completion (or stop/max-bins) and return status."""
@@ -501,28 +562,30 @@ class IngestService:
             return budget_left() is None or budget_left() > 0
 
         try:
-            interrupted = False
-            for batch in self._source.batches():
-                started = time.perf_counter()
-                closed = binner.push(batch)
-                self._record_stage("bin", time.perf_counter() - started)
-                if not drain(closed, final=False):
-                    break
-                if self._stop_requested:
-                    interrupted = True
-                    break
-            if not interrupted and not self._stop_requested:
-                # End of feed: flush the watermark-held and partial bins.
-                drain(binner.flush(), final=True)
-            else:
-                # Stopped mid-feed: publish what is already closed, keep the
-                # open bins for the resumed service to re-ingest.
-                drain([], final=True)
-            self.status.stopped_by_signal = self._stop_requested
-            self._write_status(binner, queue_depth=len(pending))
-            if self._estimate_writer is not None:
-                self._estimate_writer.flush()
-            self._write_checkpoint()
+            with get_tracer().span("serve", start_bin=self._start_bin) as span:
+                interrupted = False
+                for batch in self._source.batches():
+                    started = time.perf_counter()
+                    closed = binner.push(batch)
+                    self._record_stage("bin", time.perf_counter() - started)
+                    if not drain(closed, final=False):
+                        break
+                    if self._stop_requested:
+                        interrupted = True
+                        break
+                if not interrupted and not self._stop_requested:
+                    # End of feed: flush the watermark-held and partial bins.
+                    drain(binner.flush(), final=True)
+                else:
+                    # Stopped mid-feed: publish what is already closed, keep the
+                    # open bins for the resumed service to re-ingest.
+                    drain([], final=True)
+                self.status.stopped_by_signal = self._stop_requested
+                self._write_status(binner, queue_depth=len(pending))
+                if self._estimate_writer is not None:
+                    self._estimate_writer.flush()
+                self._write_checkpoint()
+                span.set(bins_published=self.status.bins_published)
         finally:
             publisher.close()
         return self.status

@@ -1,0 +1,70 @@
+"""Unified telemetry plane: tracing + metrics for every execution layer.
+
+``repro.obs`` is the observability layer the rest of the system reports
+through.  It is deliberately zero-dependency (stdlib only) and built
+around two primitives:
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` producing nested spans
+  (``synthesize``, ``fit_als_pass``, ``estimate_chunk``, ``sweep_cell``,
+  ``emit``, ``bin_publish``…) as JSONL events.  Span context propagates
+  over the :class:`~repro.scenarios.executors.RemoteExecutor` wire
+  protocol and through pool workers, so a distributed sweep yields one
+  merged, causally-linked trace; :mod:`repro.obs.export` renders it as a
+  per-stage summary or Chrome ``trace_event`` JSON for perfetto.
+* :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry` of
+  counters, gauges and bounded-reservoir histograms (p50/p95/p99),
+  exposed as Prometheus text format, over stdlib HTTP
+  (``repro serve --metrics-port``) or to a file (``--metrics-out``).
+
+Both primitives have no-op twins (:class:`NullTracer`,
+:class:`NullMetricsRegistry`) installed as the ambient default, so
+instrumented hot paths pay ~nothing until a user opts in with
+``--trace``/``REPRO_TRACE``/``--metrics-out`` — the invariant
+``bench_obs_overhead`` guards.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsServer,
+    NullMetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.trace import (
+    TRACE_ENV,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    start_tracing,
+    tracer_from_context,
+    use_tracer,
+    worker_context,
+)
+
+__all__ = [
+    "TRACE_ENV",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "start_tracing",
+    "worker_context",
+    "tracer_from_context",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "MetricsServer",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+]

@@ -1,0 +1,186 @@
+"""Trace post-processing: merge, per-stage summary, Chrome export.
+
+The on-disk trace format is one JSON object per line:
+
+* ``{"kind": "trace_start", "trace", "worker", "pid", "start_unix"}`` —
+  written once when a file-backed tracer opens;
+* ``{"kind": "span", "trace", "span", "parent", "name", "worker",
+  "pid", "start_unix", "duration_s", "attrs"}`` — one per closed span.
+
+Workers ship their span events back inside executor replies, so a
+single driver trace file already contains the whole distributed run;
+:func:`merge_trace_files` additionally concatenates traces captured in
+separate files (e.g. several drivers) into one event list.
+
+:func:`summarize_trace` renders the per-stage breakdown behind
+``repro trace summary``: per span-name count/total/share plus a
+*coverage* figure — the union of all span intervals as a fraction of
+the run's wall-clock extent, i.e. how much of the run is accounted for
+by at least one span.  Totals per name may exceed the wall time on
+parallel runs (that is concurrency, not an error); coverage never does.
+
+:func:`chrome_trace` converts events to Chrome ``trace_event`` JSON
+(``ph: "X"`` complete events, microsecond timestamps) with one virtual
+pid per worker label, so perfetto / ``about://tracing`` lays a
+distributed sweep out as one lane per worker.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "load_trace_file",
+    "merge_trace_files",
+    "write_trace_file",
+    "chrome_trace",
+    "TraceSummary",
+    "summarize_trace",
+]
+
+
+def load_trace_file(path) -> list[dict]:
+    """Parse one JSONL trace file (blank lines skipped)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: not valid JSON ({exc})") from exc
+            if not isinstance(event, dict):
+                raise ValueError(f"{path}:{line_no}: trace events must be JSON objects")
+            events.append(event)
+    return events
+
+
+def merge_trace_files(paths) -> list[dict]:
+    """Concatenate trace files into one chronological event list."""
+    events: list[dict] = []
+    for path in paths:
+        events.extend(load_trace_file(path))
+    events.sort(key=lambda e: (e.get("start_unix", 0.0), e.get("kind") != "trace_start"))
+    return events
+
+
+def write_trace_file(events, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+
+
+def chrome_trace(events) -> dict:
+    """Convert trace events to Chrome ``trace_event`` JSON."""
+    worker_pids: dict[str, int] = {}
+    trace_events = []
+    for event in events:
+        if event.get("kind") != "span":
+            continue
+        worker = str(event.get("worker", "driver"))
+        if worker not in worker_pids:
+            pid = len(worker_pids) + 1
+            worker_pids[worker] = pid
+            trace_events.append(
+                {"name": "process_name", "ph": "M", "pid": pid, "tid": 0, "args": {"name": worker}}
+            )
+        trace_events.append(
+            {
+                "name": event.get("name", "?"),
+                "cat": "repro",
+                "ph": "X",
+                "pid": worker_pids[worker],
+                "tid": event.get("pid", 0),
+                "ts": float(event.get("start_unix", 0.0)) * 1e6,
+                "dur": float(event.get("duration_s", 0.0)) * 1e6,
+                "args": dict(event.get("attrs") or {}, span=event.get("span"), parent=event.get("parent")),
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def _interval_union(intervals) -> float:
+    """Total length covered by a set of (start, end) intervals."""
+    ordered = sorted(intervals)
+    covered = 0.0
+    cursor = None
+    for start, end in ordered:
+        if end <= start:
+            continue
+        if cursor is None or start > cursor[1]:
+            if cursor is not None:
+                covered += cursor[1] - cursor[0]
+            cursor = [start, end]
+        elif end > cursor[1]:
+            cursor[1] = end
+    if cursor is not None:
+        covered += cursor[1] - cursor[0]
+    return covered
+
+
+@dataclass
+class TraceSummary:
+    """Per-stage breakdown of a (possibly merged, distributed) trace."""
+
+    wall_seconds: float
+    coverage: float  # fraction of wall time inside >=1 span
+    spans: int
+    workers: tuple
+    errors: int
+    stages: list = field(default_factory=list)  # (name, count, total_s, share)
+
+    def format_table(self) -> str:
+        lines = [
+            f"{'stage':<24} {'count':>7} {'total_s':>10} {'share':>7}",
+            "-" * 52,
+        ]
+        for name, count, total, share in self.stages:
+            lines.append(f"{name:<24} {count:>7} {total:>10.3f} {share:>6.1f}%")
+        lines.append("-" * 52)
+        lines.append(
+            f"wall {self.wall_seconds:.3f}s · {self.spans} spans · "
+            f"{len(self.workers)} worker(s) · {self.errors} error(s) · "
+            f"coverage {self.coverage * 100:.1f}% of wall"
+        )
+        return "\n".join(lines)
+
+
+def summarize_trace(events) -> TraceSummary:
+    spans = [e for e in events if e.get("kind") == "span"]
+    if not spans:
+        return TraceSummary(0.0, 0.0, 0, (), 0)
+    intervals = []
+    by_name: dict[str, list] = {}
+    workers = set()
+    errors = 0
+    for span in spans:
+        start = float(span.get("start_unix", 0.0))
+        duration = max(0.0, float(span.get("duration_s", 0.0)))
+        intervals.append((start, start + duration))
+        by_name.setdefault(str(span.get("name", "?")), []).append(duration)
+        workers.add(str(span.get("worker", "driver")))
+        if "error" in (span.get("attrs") or {}):
+            errors += 1
+    t0 = min(start for start, _ in intervals)
+    t1 = max(end for _, end in intervals)
+    wall = max(t1 - t0, 1e-12)
+    coverage = min(_interval_union(intervals) / wall, 1.0)
+    stages = sorted(
+        (
+            (name, len(durations), sum(durations), 100.0 * sum(durations) / wall)
+            for name, durations in by_name.items()
+        ),
+        key=lambda row: row[2],
+        reverse=True,
+    )
+    return TraceSummary(
+        wall_seconds=wall,
+        coverage=coverage,
+        spans=len(spans),
+        workers=tuple(sorted(workers)),
+        errors=errors,
+        stages=stages,
+    )

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ExecutorError, ValidationError
+from repro.obs import get_metrics, get_tracer, tracer_from_context, use_tracer, worker_context
 
 __all__ = [
     "SweepExecutor",
@@ -63,7 +64,9 @@ __all__ = [
 
 # Bumped whenever the wire messages change shape; client and daemon must
 # agree exactly (there is no cross-version compatibility machinery).
-SWEEP_WORKER_PROTOCOL = 1
+# 2: batch requests carry the caller's trace context ("trace", "worker"),
+#    batch replies carry the worker's span events ("trace_events").
+SWEEP_WORKER_PROTOCOL = 2
 
 
 class ResultSink:
@@ -113,17 +116,18 @@ class SweepPlan:
 
     def emit(self, index: int, result, message: str | None) -> None:
         """Deliver one completed cell (thread-safe, exactly once per cell)."""
-        with self._lock:
-            if self._delivered[index]:
-                raise ExecutorError(
-                    f"cell {index} was delivered twice — executor bug"
-                )
-            self._delivered[index] = True
-            if self.sink is not None:
-                self.sink.cell(index, self.cells[index], result, message)
-                self._outcomes[index] = (None, message)
-            else:
-                self._outcomes[index] = (result, message)
+        with get_tracer().span("emit", index=index, sink=self.sink is not None):
+            with self._lock:
+                if self._delivered[index]:
+                    raise ExecutorError(
+                        f"cell {index} was delivered twice — executor bug"
+                    )
+                self._delivered[index] = True
+                if self.sink is not None:
+                    self.sink.cell(index, self.cells[index], result, message)
+                    self._outcomes[index] = (None, message)
+                else:
+                    self._outcomes[index] = (result, message)
 
     def pending(self) -> list:
         """Indices of cells not yet delivered."""
@@ -263,8 +267,9 @@ def _warn_jobs_capped(requested: int, capped: int, cpu_count: int | None) -> Non
 #   {"op": "ping"}                                  -> {"ok", "protocol"}
 #   {"op": "dataset", "key", "kind", "payload"}      -> {"ok"[, "error"]}
 #   {"op": "batch", "baseline", "fit_cache_bytes",
-#    "fit_memo", "items"}                            -> {"ok", "outcomes",
-#                                                        "peak_rss_mb"}
+#    "fit_memo", "items", "trace", "worker"}          -> {"ok", "outcomes",
+#                                                        "peak_rss_mb",
+#                                                        "trace_events"}
 #   {"op": "shutdown"}                               -> {"ok"}  (daemon exits)
 #
 # ``kind`` is "plan" (a StreamingDatasetState with arrays inline) or "cube"
@@ -398,71 +403,100 @@ class RemoteExecutor(SweepExecutor):
         self, address, assigned, datasets, runner, plan, errors, lock
     ) -> None:
         label = f"{address[0]}:{address[1]}"
-        try:
-            sock = socket.create_connection(address, timeout=self._connect_timeout)
-        except OSError as exc:
+        tracer = get_tracer()
+
+        def fail(message: str, *, span, reason: str) -> None:
+            # Every failure path converges here: the error lands in the
+            # shared list, on the still-open worker span (so no span leaks
+            # open or unattributed), and on the failure counter.
             with lock:
-                errors.append(f"worker {label} unreachable ({exc})")
-            return
-        try:
-            # Cells can legitimately run for minutes; only the connect is
-            # bounded above.
-            sock.settimeout(None)
-            hello = _roundtrip(sock, {"op": "ping"})
-            if hello.get("protocol") != SWEEP_WORKER_PROTOCOL:
-                with lock:
-                    errors.append(
-                        f"worker {label} speaks protocol "
-                        f"{hello.get('protocol')!r}, expected {SWEEP_WORKER_PROTOCOL}"
-                    )
+                errors.append(message)
+            span.set(error=message)
+            get_metrics().counter(
+                "repro_executor_failures_total", worker=label, reason=reason
+            ).inc()
+
+        with tracer.span("remote_worker", worker=label) as span:
+            try:
+                sock = socket.create_connection(address, timeout=self._connect_timeout)
+            except OSError as exc:
+                fail(f"worker {label} unreachable ({exc})", span=span, reason="unreachable")
                 return
-            needed = sorted(
-                {key for batch in assigned for (_, _, key) in batch if key is not None},
-                key=repr,
-            )
-            for key in needed:
-                data = datasets[key]
-                if hasattr(data, "export_state"):
-                    kind, payload = "plan", data.export_state()
-                else:
-                    kind, payload = "cube", data
-                reply = _roundtrip(
-                    sock, {"op": "dataset", "key": key, "kind": kind, "payload": payload}
+            try:
+                # Cells can legitimately run for minutes; only the connect is
+                # bounded above.
+                sock.settimeout(None)
+                hello = _roundtrip(sock, {"op": "ping"})
+                if hello.get("protocol") != SWEEP_WORKER_PROTOCOL:
+                    fail(
+                        f"worker {label} speaks protocol "
+                        f"{hello.get('protocol')!r}, expected {SWEEP_WORKER_PROTOCOL}",
+                        span=span,
+                        reason="protocol",
+                    )
+                    return
+                needed = sorted(
+                    {key for batch in assigned for (_, _, key) in batch if key is not None},
+                    key=repr,
                 )
-                if not reply.get("ok"):
-                    with lock:
-                        errors.append(
+                for key in needed:
+                    data = datasets[key]
+                    if hasattr(data, "export_state"):
+                        kind, payload = "plan", data.export_state()
+                    else:
+                        kind, payload = "cube", data
+                    reply = _roundtrip(
+                        sock, {"op": "dataset", "key": key, "kind": kind, "payload": payload}
+                    )
+                    if not reply.get("ok"):
+                        fail(
                             f"worker {label} rejected dataset {key!r}: "
-                            f"{reply.get('error', 'unknown error')}"
+                            f"{reply.get('error', 'unknown error')}",
+                            span=span,
+                            reason="dataset",
                         )
-                    return
-            for batch in assigned:
-                reply = _roundtrip(
-                    sock,
-                    {
-                        "op": "batch",
-                        "baseline": runner._baseline,
-                        "fit_cache_bytes": runner._fit_cache_bytes,
-                        "fit_memo": runner._fit_memo,
-                        "items": batch,
-                    },
-                )
-                if not reply.get("ok"):
-                    with lock:
-                        errors.append(
+                        return
+                for batch in assigned:
+                    reply = _roundtrip(
+                        sock,
+                        {
+                            "op": "batch",
+                            "baseline": runner._baseline,
+                            "fit_cache_bytes": runner._fit_cache_bytes,
+                            "fit_memo": runner._fit_memo,
+                            "items": batch,
+                            "trace": worker_context(tracer),
+                            "worker": label,
+                        },
+                    )
+                    if not reply.get("ok"):
+                        fail(
                             f"worker {label} failed a batch: "
-                            f"{reply.get('error', 'unknown error')}"
+                            f"{reply.get('error', 'unknown error')}",
+                            span=span,
+                            reason="batch",
                         )
-                    return
-                # Stream each cell to the plan as its batch lands, instead
-                # of accumulating the whole grid's results in this driver.
-                for index, result, message in reply["outcomes"]:
-                    plan.emit(index, result, message)
-        except (OSError, EOFError, pickle.PickleError, struct.error) as exc:
-            with lock:
-                errors.append(f"worker {label} failed ({type(exc).__name__}: {exc})")
-        finally:
-            sock.close()
+                        return
+                    # The worker ran its cells under a capture tracer seeded
+                    # from this thread's context; merge its spans here so the
+                    # driver's trace file tells the whole distributed story.
+                    tracer.ingest(reply.get("trace_events"))
+                    if reply.get("peak_rss_mb") is not None:
+                        get_metrics().gauge(
+                            "repro_executor_worker_rss_mb", worker=label
+                        ).set(reply["peak_rss_mb"])
+                    # Stream each cell to the plan as its batch lands, instead
+                    # of accumulating the whole grid's results in this driver.
+                    for index, result, message in reply["outcomes"]:
+                        plan.emit(index, result, message)
+            except (OSError, EOFError, pickle.PickleError, struct.error) as exc:
+                fail(
+                    f"worker {label} failed ({type(exc).__name__}: {exc})",
+                    span=span,
+                    reason="connection",
+                )
+            finally:
+                sock.close()
 
 
 # ---------------------------------------------------------------------------
@@ -519,18 +553,30 @@ def _serve_connection(conn: socket.socket) -> bool:
                     fit_cache_bytes=message["fit_cache_bytes"],
                     fit_memo=message.get("fit_memo", True),
                 )
+                # A traced client ships its span context; run the cells under
+                # a capture tracer so their spans (attributed to this worker)
+                # travel back in the reply and merge into the client's trace.
+                tracer = tracer_from_context(
+                    message.get("trace"), worker=message.get("worker") or "sweep-worker"
+                )
                 outcomes = []
-                for index, cell, dataset_key in message["items"]:
-                    dataset = (
-                        datasets.get(dataset_key) if dataset_key is not None else None
-                    )
-                    result, error = runner._run_cell_guarded(
-                        cell, dataset=dataset, shared=shared
-                    )
-                    outcomes.append((index, result, error))
+                with use_tracer(tracer):
+                    for index, cell, dataset_key in message["items"]:
+                        dataset = (
+                            datasets.get(dataset_key) if dataset_key is not None else None
+                        )
+                        result, error = runner._run_cell_guarded(
+                            cell, dataset=dataset, shared=shared
+                        )
+                        outcomes.append((index, result, error))
                 _send_message(
                     conn,
-                    {"ok": True, "outcomes": outcomes, "peak_rss_mb": _peak_rss_mb()},
+                    {
+                        "ok": True,
+                        "outcomes": outcomes,
+                        "peak_rss_mb": _peak_rss_mb(),
+                        "trace_events": tracer.drain(),
+                    },
                 )
             except Exception as exc:  # noqa: BLE001 - reported to the client
                 _send_message(

@@ -52,6 +52,7 @@ from repro.core.priors import (
 from repro.core.traffic_matrix import TrafficMatrixSeries
 from repro.errors import ValidationError
 from repro.estimation.linear_system import simulate_link_loads, simulate_link_loads_streaming
+from repro.obs import get_metrics, get_tracer, tracer_from_context, use_tracer, worker_context
 from repro.registry import (
     DATASETS,
     ESTIMATORS,
@@ -138,29 +139,25 @@ class SweepSharedState:
         """
         self._pinned.append(anchor)
 
-    def system(self, key: tuple, build):
-        cached = self.systems.get(key)
+    def _memo(self, cache: dict, key: tuple, build, kind: str):
+        metrics = get_metrics()
+        metrics.counter("repro_sweep_shared_requests_total", kind=kind).inc()
+        cached = cache.get(key)
         if cached is None:
             cached = build()
-            self.system_builds += 1
-            self.systems[key] = cached
+            setattr(self, f"{kind}_builds", getattr(self, f"{kind}_builds") + 1)
+            metrics.counter("repro_sweep_shared_builds_total", kind=kind).inc()
+            cache[key] = cached
         return cached
+
+    def system(self, key: tuple, build):
+        return self._memo(self.systems, key, build, "system")
 
     def baseline(self, key: tuple, build):
-        cached = self.baselines.get(key)
-        if cached is None:
-            cached = build()
-            self.baseline_builds += 1
-            self.baselines[key] = cached
-        return cached
+        return self._memo(self.baselines, key, build, "baseline")
 
     def fit(self, key: tuple, build):
-        cached = self.fits.get(key)
-        if cached is None:
-            cached = build()
-            self.fit_builds += 1
-            self.fits[key] = cached
-        return cached
+        return self._memo(self.fits, key, build, "fit")
 
 
 @dataclass
@@ -370,6 +367,7 @@ class ScenarioRunner:
         the host.
         """
         scenario.validate()
+        started = time.perf_counter()
         with use_backend(scenario.backend):
             if scenario.stream:
                 if dataset is not None and not hasattr(dataset, "week_stream"):
@@ -377,13 +375,22 @@ class ScenarioRunner:
                         "streaming scenarios regenerate chunks; pass dataset=None "
                         "or a pre-opened StreamingDataset"
                     )
-                return self._run_streaming(scenario, data=dataset, shared=shared)
-            if dataset is not None and not hasattr(dataset, "weeks"):
-                raise ValidationError(
-                    "in-memory scenarios need a materialised SyntheticDataset; "
-                    "got a streaming dataset (set stream=True to use it)"
-                )
-            return self._run_in_memory(scenario, dataset=dataset, shared=shared)
+                result = self._run_streaming(scenario, data=dataset, shared=shared)
+            else:
+                if dataset is not None and not hasattr(dataset, "weeks"):
+                    raise ValidationError(
+                        "in-memory scenarios need a materialised SyntheticDataset; "
+                        "got a streaming dataset (set stream=True to use it)"
+                    )
+                result = self._run_in_memory(scenario, dataset=dataset, shared=shared)
+        metrics = get_metrics()
+        if metrics.enabled:
+            mode = "stream" if scenario.stream else "memory"
+            metrics.counter("repro_scenario_runs_total", mode=mode).inc()
+            metrics.histogram("repro_scenario_run_seconds", mode=mode).observe(
+                time.perf_counter() - started
+            )
+        return result
 
     # -- shared-state keys ---------------------------------------------------
 
@@ -433,24 +440,26 @@ class ScenarioRunner:
         estimator_factory = ESTIMATORS.get(scenario.estimator)
         calibration_week, target_week = self.resolve_weeks(scenario)
 
+        tracer = get_tracer()
         started = time.perf_counter()
         weeks_needed = self._weeks_to_synthesize(scenario, calibration_week, target_week)
-        if dataset is not None:
-            if dataset.n_weeks < weeks_needed:
-                raise ValidationError(
-                    f"pre-synthesized dataset has {dataset.n_weeks} weeks but the "
-                    f"scenario needs {weeks_needed}"
+        with tracer.span("synthesize", dataset=scenario.dataset, weeks=weeks_needed):
+            if dataset is not None:
+                if dataset.n_weeks < weeks_needed:
+                    raise ValidationError(
+                        f"pre-synthesized dataset has {dataset.n_weeks} weeks but the "
+                        f"scenario needs {weeks_needed}"
+                    )
+                data = dataset
+            else:
+                data = load_dataset(
+                    scenario.dataset,
+                    n_weeks=weeks_needed,
+                    bins_per_week=scenario.bins_per_week,
+                    full_scale=scenario.full_scale,
+                    seed=scenario.dataset_seed,
                 )
-            data = dataset
-        else:
-            data = load_dataset(
-                scenario.dataset,
-                n_weeks=weeks_needed,
-                bins_per_week=scenario.bins_per_week,
-                full_scale=scenario.full_scale,
-                seed=scenario.dataset_seed,
-            )
-        topology = self._resolve_topology(scenario, data)
+            topology = self._resolve_topology(scenario, data)
         dataset_seconds = time.perf_counter() - started
 
         target = data.week(target_week)
@@ -478,40 +487,42 @@ class ScenarioRunner:
         prior_started = time.perf_counter()
         estimator = estimator_factory()
         sharing_main = shared is not None and self._is_baseline_prior(scenario)
-        prior = None if sharing_main else prior_entry.obj(context)
+        with tracer.span("build_prior", prior=scenario.prior):
+            prior = None if sharing_main else prior_entry.obj(context)
         prior_seconds = time.perf_counter() - prior_started
 
         estimation_started = time.perf_counter()
-        baseline_entry: RegistryEntry | None = None
-        baseline = None
-        if self._baseline is not None and scenario.prior != canonical_name(self._baseline):
-            baseline_entry = PRIORS.entry(self._baseline)
+        with tracer.span("estimate", estimator=scenario.estimator):
+            baseline_entry: RegistryEntry | None = None
+            baseline = None
+            if self._baseline is not None and scenario.prior != canonical_name(self._baseline):
+                baseline_entry = PRIORS.entry(self._baseline)
 
-            def build_baseline():
-                return estimator.estimate(
-                    system, baseline_entry.obj(context), ground_truth=target
-                )
+                def build_baseline():
+                    return estimator.estimate(
+                        system, baseline_entry.obj(context), ground_truth=target
+                    )
 
-            if shared is not None:
-                baseline = shared.baseline(
-                    self._baseline_key(system_key, scenario, calibration_week), build_baseline
+                if shared is not None:
+                    baseline = shared.baseline(
+                        self._baseline_key(system_key, scenario, calibration_week), build_baseline
+                    )
+                else:
+                    baseline = build_baseline()
+
+            def build_main():
+                main_prior = prior if prior is not None else prior_entry.obj(context)
+                return estimator.estimate(system, main_prior, ground_truth=target)
+
+            if sharing_main:
+                # A cell whose scenario prior *is* the sweep baseline computes
+                # exactly the estimate its sibling cells use as their baseline;
+                # share one computation through the same memo.
+                main = shared.baseline(
+                    self._baseline_key(system_key, scenario, calibration_week), build_main
                 )
             else:
-                baseline = build_baseline()
-
-        def build_main():
-            main_prior = prior if prior is not None else prior_entry.obj(context)
-            return estimator.estimate(system, main_prior, ground_truth=target)
-
-        if sharing_main:
-            # A cell whose scenario prior *is* the sweep baseline computes
-            # exactly the estimate its sibling cells use as their baseline;
-            # share one computation through the same memo.
-            main = shared.baseline(
-                self._baseline_key(system_key, scenario, calibration_week), build_main
-            )
-        else:
-            main = build_main()
+                main = build_main()
         estimation_seconds = time.perf_counter() - estimation_started
 
         improvement = None
@@ -607,25 +618,27 @@ class ScenarioRunner:
                 "(it lacks an estimate_stream method); run without stream"
             )
 
+        tracer = get_tracer()
         started = time.perf_counter()
         weeks_needed = self._weeks_to_synthesize(scenario, calibration_week, target_week)
-        if data is not None:
-            if data.n_weeks < weeks_needed:
-                raise ValidationError(
-                    f"pre-opened streaming dataset has {data.n_weeks} weeks but "
-                    f"the scenario needs {weeks_needed}"
+        with tracer.span("synthesize", dataset=scenario.dataset, weeks=weeks_needed, stream=True):
+            if data is not None:
+                if data.n_weeks < weeks_needed:
+                    raise ValidationError(
+                        f"pre-opened streaming dataset has {data.n_weeks} weeks but "
+                        f"the scenario needs {weeks_needed}"
+                    )
+            else:
+                data = open_dataset_stream(
+                    scenario.dataset,
+                    n_weeks=weeks_needed,
+                    bins_per_week=scenario.bins_per_week,
+                    full_scale=scenario.full_scale,
+                    seed=scenario.dataset_seed,
+                    chunk_bins=scenario.chunk_bins,
                 )
-        else:
-            data = open_dataset_stream(
-                scenario.dataset,
-                n_weeks=weeks_needed,
-                bins_per_week=scenario.bins_per_week,
-                full_scale=scenario.full_scale,
-                seed=scenario.dataset_seed,
-                chunk_bins=scenario.chunk_bins,
-            )
-        topology = self._resolve_topology(scenario, data)
-        target_stream = data.week_stream(target_week, max_bins=scenario.max_bins)
+            topology = self._resolve_topology(scenario, data)
+            target_stream = data.week_stream(target_week, max_bins=scenario.max_bins)
         dataset_seconds = time.perf_counter() - started
 
         if shared is not None:
@@ -671,46 +684,48 @@ class ScenarioRunner:
         spill, spill_estimate = self._resolve_spill(scenario, target_stream.n_bins)
 
         prior_started = time.perf_counter()
-        prior_stream = scenario_builder(context)
+        with tracer.span("build_prior", prior=scenario.prior, stream=True):
+            prior_stream = scenario_builder(context)
         prior_seconds = time.perf_counter() - prior_started
 
         estimation_started = time.perf_counter()
-        baseline = None
-        if baseline_builder is not None:
+        with tracer.span("estimate", estimator=scenario.estimator, stream=True):
+            baseline = None
+            if baseline_builder is not None:
 
-            def build_baseline():
+                def build_baseline():
+                    return estimator.estimate_stream(
+                        system, baseline_builder(context), ground_truth_stream=target_stream
+                    )
+
+                if shared is not None:
+                    baseline = shared.baseline(
+                        self._baseline_key(system_key, scenario, calibration_week), build_baseline
+                    )
+                else:
+                    baseline = build_baseline()
+            estimate_writer = (
+                spill.writer("estimate") if spill is not None and spill_estimate else None
+            )
+
+            def build_main():
                 return estimator.estimate_stream(
-                    system, baseline_builder(context), ground_truth_stream=target_stream
+                    system,
+                    prior_stream,
+                    ground_truth_stream=target_stream,
+                    chunk_sink=estimate_writer,
                 )
 
-            if shared is not None:
-                baseline = shared.baseline(
-                    self._baseline_key(system_key, scenario, calibration_week), build_baseline
+            if shared is not None and estimate_writer is None and self._is_baseline_prior(scenario):
+                # A cell whose scenario prior *is* the sweep baseline computes
+                # exactly the estimate its sibling cells use as their baseline;
+                # share one computation through the same memo.  (Runs writing
+                # estimate shards always execute, so the shards get written.)
+                main = shared.baseline(
+                    self._baseline_key(system_key, scenario, calibration_week), build_main
                 )
             else:
-                baseline = build_baseline()
-        estimate_writer = (
-            spill.writer("estimate") if spill is not None and spill_estimate else None
-        )
-
-        def build_main():
-            return estimator.estimate_stream(
-                system,
-                prior_stream,
-                ground_truth_stream=target_stream,
-                chunk_sink=estimate_writer,
-            )
-
-        if shared is not None and estimate_writer is None and self._is_baseline_prior(scenario):
-            # A cell whose scenario prior *is* the sweep baseline computes
-            # exactly the estimate its sibling cells use as their baseline;
-            # share one computation through the same memo.  (Runs writing
-            # estimate shards always execute, so the shards get written.)
-            main = shared.baseline(
-                self._baseline_key(system_key, scenario, calibration_week), build_main
-            )
-        else:
-            main = build_main()
+                main = build_main()
         estimation_seconds = time.perf_counter() - estimation_started
 
         improvement = None
@@ -929,6 +944,15 @@ class ScenarioRunner:
             "executor": executor_name,
             "streamed": result_sink is not None,
         }
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("repro_sweep_cells_total", status="ok").inc(cells_ok)
+            metrics.counter("repro_sweep_cells_total", status="failed").inc(len(failures))
+            metrics.gauge("repro_sweep_cells_per_second").set(timing["cells_per_second"])
+            if timing["peak_rss_mb"] is not None:
+                metrics.gauge("repro_sweep_peak_rss_mb").set(timing["peak_rss_mb"])
+            if timing["worker_peak_rss_mb"] is not None:
+                metrics.gauge("repro_sweep_worker_peak_rss_mb").set(timing["worker_peak_rss_mb"])
         return SweepResult(
             priors=(
                 tuple(priors)
@@ -960,11 +984,24 @@ class ScenarioRunner:
         return resolved.execute(plan), resolved.name
 
     def _run_cell_guarded(self, cell: Scenario, *, dataset=None, shared=None) -> tuple:
-        """Run one cell on this runner, wrapping failures like the workers do."""
-        try:
-            return self.run(cell, dataset=dataset, shared=shared), None
-        except Exception as exc:  # noqa: BLE001 - a cell failure should not kill the grid
-            return None, f"{type(exc).__name__}: {exc}"
+        """Run one cell on this runner, wrapping failures like the workers do.
+
+        The cell is traced as one ``sweep_cell`` span; a failure closes the
+        span with an ``error=`` attribute (the exception never escapes, so
+        the span records it explicitly) and increments the cell-failure
+        counter.
+        """
+        span = get_tracer().span(
+            "sweep_cell", label=cell.label, dataset=cell.dataset, prior=cell.prior
+        )
+        with span:
+            try:
+                return self.run(cell, dataset=dataset, shared=shared), None
+            except Exception as exc:  # noqa: BLE001 - a cell failure should not kill the grid
+                message = f"{type(exc).__name__}: {exc}"
+                span.set(error=message)
+                get_metrics().counter("repro_sweep_cell_failures_total").inc()
+                return None, message
 
     @staticmethod
     def _dataset_key(cell: Scenario) -> tuple | None:
@@ -1079,8 +1116,9 @@ class ScenarioRunner:
         """
         items, datasets = self._prepare_sweep_items(cells)
         batches = self._column_batches(items, jobs)
+        trace_ctx = worker_context()
         payloads = [
-            (self._baseline, self._fit_cache_bytes, self._fit_memo, batch)
+            (self._baseline, self._fit_cache_bytes, self._fit_memo, batch, trace_ctx)
             for batch in batches
         ]
         shm_payload, shm_blocks = _export_datasets_shm(datasets)
@@ -1094,7 +1132,9 @@ class ScenarioRunner:
             ) as pool:
                 futures = [pool.submit(_run_sweep_batch, payload) for payload in payloads]
                 for future in as_completed(futures):
-                    for index, result, message in future.result():
+                    outcomes, trace_events = future.result()
+                    get_tracer().ingest(trace_events)
+                    for index, result, message in outcomes:
                         delivered.add(index)
                         emit(index, result, message)
                 return
@@ -1268,26 +1308,32 @@ def _init_sweep_worker(datasets: dict[tuple, object], shm_payload=None) -> None:
             _WORKER_DATASETS[key] = dataclasses.replace(shell, weeks=weeks)
 
 
-def _run_sweep_batch(payload: tuple) -> list[tuple]:
+def _run_sweep_batch(payload: tuple) -> tuple[list[tuple], list[dict]]:
     """Execute one column batch of sweep cells inside a worker process.
 
     The cells of a batch share this worker's :class:`SweepSharedState`
     (measurement systems, baseline estimates) and whatever dataset columns
     the initializer attached; each returns ``(index, result, message)`` so
-    the parent can reassemble grid order across batches.
+    the parent can reassemble grid order across batches.  When the parent
+    runs traced, its span context rides in the payload: the batch executes
+    under a capture-mode tracer whose events (``sweep_cell`` spans parented
+    onto the parent's active span, attributed to this worker's pid) travel
+    back alongside the outcomes for the parent to ingest.
     """
-    baseline, fit_cache_bytes, fit_memo, items = payload
+    baseline, fit_cache_bytes, fit_memo, items, trace_ctx = payload
     runner = ScenarioRunner(
         baseline_prior=baseline, fit_cache_bytes=fit_cache_bytes, fit_memo=fit_memo
     )
+    tracer = tracer_from_context(trace_ctx, worker=f"pool-{os.getpid()}")
     outcomes = []
-    for index, cell, dataset_key in items:
-        dataset = _WORKER_DATASETS.get(dataset_key) if dataset_key is not None else None
-        result, message = runner._run_cell_guarded(  # noqa: SLF001 - same-module helper
-            cell, dataset=dataset, shared=_WORKER_SHARED
-        )
-        outcomes.append((index, result, message))
-    return outcomes
+    with use_tracer(tracer):
+        for index, cell, dataset_key in items:
+            dataset = _WORKER_DATASETS.get(dataset_key) if dataset_key is not None else None
+            result, message = runner._run_cell_guarded(  # noqa: SLF001 - same-module helper
+                cell, dataset=dataset, shared=_WORKER_SHARED
+            )
+            outcomes.append((index, result, message))
+    return outcomes, tracer.drain()
 
 
 @dataclass

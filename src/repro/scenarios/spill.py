@@ -34,6 +34,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs import get_metrics
 
 __all__ = [
     "SpilledSeries",
@@ -322,6 +323,10 @@ class ShardWriter:
         shard, rest = stacked[:n_bins], stacked[n_bins:]
         path = self._directory / f"{self._name}-{self._written:08d}.npz"
         np.savez_compressed(path, values=shard)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("repro_spill_bytes_total").inc(path.stat().st_size)
+            metrics.counter("repro_spill_shards_total").inc()
         self._paths.append(path)
         self._starts.append(self._written - self._start)
         self._written += shard.shape[0]

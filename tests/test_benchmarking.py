@@ -122,6 +122,7 @@ class TestMicroBenchmarks:
             "sweep_grid",
             "sweep_executor",
             "report_marts",
+            "obs_overhead",
         ]
 
     def test_bench_sweep_grid_record(self, small_sweep_grid):
@@ -144,6 +145,14 @@ class TestMicroBenchmarks:
         assert extra["pool_unmemoised_seconds"] > 0
         assert extra["speedup_vs_serial"] > 0
 
+    def test_bench_obs_overhead_record(self):
+        record = benchmarking.bench_obs_overhead(bins=48, chunk_bins=16, repeat=1)
+        assert record.name == "obs_overhead"
+        extra = record.extra_info
+        assert extra["matches_seed_bitwise"] is True
+        assert extra["seed_seconds"] > 0
+        assert extra["budget_pct"] == 2.0
+
 
 class TestBenchCLI:
     def test_bench_quick_writes_file(self, tmp_path, capsys, small_sweep_grid):
@@ -154,10 +163,11 @@ class TestBenchCLI:
         out = capsys.readouterr().out
         assert "ic_series_kernel" in out
         payload = json.loads((tmp_path / "BENCH_test.json").read_text())
-        assert len(payload["benchmarks"]) == 10
+        assert len(payload["benchmarks"]) == 11
         by_name = {bench["name"]: bench for bench in payload["benchmarks"]}
         assert "numpy" in by_name["ic_series_backend"]["extra_info"]["backends"]
         assert by_name["sweep_grid"]["extra_info"]["matches_serial_bitwise"] is True
+        assert payload["obs"]["overhead_pct"] is not None
 
     def test_bench_explicit_json_path(self, tmp_path, small_sweep_grid):
         target = tmp_path / "snapshot.json"

@@ -568,6 +568,7 @@ class TestBackPressureMetrics:
         assert snapshot["backpressure"] == {
             "queue_depth": 0,
             "bins_behind_watermark": 0,
+            "feed_lag_seconds": 0.0,
         }
         latency = snapshot["stage_latency_seconds"]
         # Every pipeline stage that ran reports an ordered quantile pair.
@@ -599,4 +600,7 @@ class TestBackPressureMetrics:
         assert (
             snapshot["backpressure"]["bins_behind_watermark"]
             == status.bins_behind_watermark
+        )
+        assert snapshot["backpressure"]["feed_lag_seconds"] == pytest.approx(
+            status.bins_behind_watermark * stream.bin_seconds, rel=1e-3
         )

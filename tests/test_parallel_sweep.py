@@ -14,7 +14,11 @@ SMALL = {"bins_per_week": 36, "max_bins": 4}
 
 def _run_one_cell(baseline, scenario, key):
     """Run a single cell through the worker batch entry point."""
-    [(_, result, message)] = _run_sweep_batch((baseline, None, True, [(0, scenario, key)]))
+    outcomes, trace_events = _run_sweep_batch(
+        (baseline, None, True, [(0, scenario, key)], None)
+    )
+    assert trace_events == []  # untraced parent -> no span events shipped back
+    [(_, result, message)] = outcomes
     return result, message
 
 
@@ -40,7 +44,7 @@ class TestRunSweepBatch:
             for prior in ("gravity", "stable_f")
         ]
         items = [(index + 5, cell, None) for index, cell in enumerate(cells)]
-        outcomes = _run_sweep_batch(("gravity", None, True, items))
+        outcomes, _ = _run_sweep_batch(("gravity", None, True, items, None))
         assert [index for index, _, _ in outcomes] == [5, 6]
         assert all(message is None for _, _, message in outcomes)
 
