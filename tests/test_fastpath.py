@@ -1,0 +1,657 @@
+"""Tests for the incremental estimation fast path (:mod:`repro.estimation.fastpath`).
+
+The contract under test is the one the fast path advertises:
+
+* the structure detector only ever promotes a bin into the equal tier when
+  its weight vector is bitwise identical to the base, and into the scaled
+  tier when it is a positive scalar multiple within ``STRUCTURE_RTOL``;
+* equal-tier and miss-tier bins reproduce the per-bin oracle **bit for
+  bit**; scaled-tier bins stay within 1e-10 of it;
+* warm starts change iteration counts, never fixed points (warm and cold
+  solves agree to the IPF convergence tolerance), and the default
+  instrumentation-free IPF path is bit-identical with the instrumentation
+  switched on;
+* end to end, a fast-path run equals the slow path: bit-identical on
+  steady feeds (and on drifting feeds with warm starts off, where every
+  bin falls back to the exact kernels), ≤1e-10 on exactly rescaled feeds,
+  and within convergence tolerance across mid-stream prior swaps with
+  warm starts on;
+* caches invalidate atomically on prior swaps and survive checkpoint
+  resume (a resumed fast service republishes the uninterrupted series).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.priors import StableFPrior
+from repro.errors import ShapeError, ValidationError
+from repro.estimation.fastpath import (
+    STRUCTURE_RTOL,
+    FactorizationCache,
+    IPFSolveCache,
+    classify_scaled_family,
+)
+from repro.estimation.ipf import iterative_proportional_fitting_series
+from repro.estimation.linear_system import simulate_link_loads_streaming
+from repro.estimation.pipeline import TMEstimator
+from repro.estimation.tomogravity import _refine_chunk
+from repro.ingest import FileReplaySource, IngestService, SyntheticFlowSource
+from repro.obs import MetricsRegistry
+from repro.scenarios import Scenario
+from repro.streaming import ArrayChunkStream
+from repro.synthesis.datasets import open_dataset_stream
+
+
+def _read_jsonl(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def _rel_diff(a, b):
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    scale = max(np.max(np.abs(b)), 1e-300)
+    return float(np.max(np.abs(a - b)) / scale)
+
+
+# ---------------------------------------------------------------------------
+# the structure detector
+# ---------------------------------------------------------------------------
+
+class TestClassifyScaledFamily:
+    def test_three_tiers_are_disjoint_and_complete(self):
+        rng = np.random.default_rng(5)
+        base = rng.gamma(2.0, 1.0, 12)
+        vectors = np.stack([
+            base,                       # equal
+            2.5 * base,                 # scaled
+            base * (1 + 1e-6 * rng.standard_normal(12)),  # miss: shape drift
+            -1.0 * base,                # miss: negative scale
+        ])
+        equal, scaled, scales = classify_scaled_family(vectors, base)
+        assert equal.tolist() == [True, False, False, False]
+        assert scaled.tolist() == [False, True, False, False]
+        assert not np.any(equal & scaled)
+        assert scales[1] == pytest.approx(2.5, rel=1e-12)
+
+    def test_tiny_relative_perturbation_stays_scaled(self):
+        base = np.linspace(1.0, 2.0, 8)
+        vec = 3.0 * base
+        vec[0] += vec[0] * 1e-15  # well inside STRUCTURE_RTOL
+        equal, scaled, _ = classify_scaled_family(vec[np.newaxis], base)
+        assert not equal[0] and scaled[0]
+
+    def test_zero_base_classifies_nothing_as_scaled(self):
+        base = np.zeros(4)
+        vectors = np.array([[1.0, 2.0, 3.0, 4.0], [0.0, 0.0, 0.0, 0.0]])
+        equal, scaled, scales = classify_scaled_family(vectors, base)
+        assert equal.tolist() == [False, True]
+        assert not scaled.any()
+        assert np.all(scales == 0.0)
+
+    def test_rtol_is_respected(self):
+        base = np.ones(6)
+        vec = 2.0 * base
+        vec[3] *= 1 + 1e-8
+        _, scaled_tight, _ = classify_scaled_family(vec[np.newaxis], base)
+        _, scaled_loose, _ = classify_scaled_family(vec[np.newaxis], base, rtol=1e-6)
+        assert not scaled_tight[0] and scaled_loose[0]
+
+
+# ---------------------------------------------------------------------------
+# the tomogravity factorisation cache vs the per-bin oracle
+# ---------------------------------------------------------------------------
+
+def _toy_problem(seed=0, t=6, links=9, n_od=16):
+    rng = np.random.default_rng(seed)
+    matrix = (rng.random((links, n_od)) < 0.4).astype(float)
+    matrix[0] = 1.0  # keep the system connected
+    priors = rng.gamma(2.0, 10.0, (t, n_od))
+    truth = priors * rng.uniform(0.8, 1.25, (t, n_od))
+    observed = truth @ matrix.T
+    return priors, matrix, observed
+
+
+class TestFactorizationCache:
+    def test_cold_chunk_is_all_misses_and_bit_identical(self):
+        priors, matrix, observed = _toy_problem()
+        cache = FactorizationCache()
+        estimates, chunk = cache.refine(priors, matrix, observed)
+        oracle = _refine_chunk(priors, matrix, observed, None)
+        np.testing.assert_array_equal(estimates, oracle)
+        assert chunk == {"hits_equal": 0, "hits_scaled": 0, "misses": priors.shape[0]}
+
+    def test_equal_tier_replay_is_bit_identical(self):
+        priors, matrix, observed = _toy_problem()
+        steady = np.repeat(priors[-1:], 5, axis=0)
+        cache = FactorizationCache()
+        cache.refine(priors, matrix, observed)  # anchors on the last miss
+        estimates, chunk = cache.refine(steady, matrix, observed[:5])
+        oracle = _refine_chunk(steady, matrix, observed[:5], None)
+        np.testing.assert_array_equal(estimates, oracle)
+        assert chunk["hits_equal"] == 5 and chunk["misses"] == 0
+
+    def test_scaled_tier_matches_oracle_within_budget(self):
+        priors, matrix, observed = _toy_problem(seed=3)
+        scales = np.array([0.5, 1.7, 3.0, 0.9, 2.2])
+        family = scales[:, np.newaxis] * priors[-1]
+        cache = FactorizationCache()
+        cache.refine(priors, matrix, observed)
+        estimates, chunk = cache.refine(family, matrix, observed[:5])
+        oracle = _refine_chunk(family, matrix, observed[:5], None)
+        assert chunk["hits_scaled"] == 5
+        assert _rel_diff(estimates, oracle) <= 1e-10
+
+    def test_drifting_priors_fall_back_bit_identical(self):
+        priors, matrix, observed = _toy_problem(seed=7)
+        cache = FactorizationCache()
+        cache.refine(priors[:3], matrix, observed[:3])
+        estimates, chunk = cache.refine(priors[3:], matrix, observed[3:])
+        oracle = _refine_chunk(priors[3:], matrix, observed[3:], None)
+        np.testing.assert_array_equal(estimates, oracle)
+        assert chunk["misses"] == 3
+
+    def test_key_change_invalidates(self):
+        priors, matrix, observed = _toy_problem()
+        steady = np.repeat(priors[-1:], 2, axis=0)
+        cache = FactorizationCache()
+        cache.refine(priors, matrix, observed, key=1)
+        _, chunk = cache.refine(steady, matrix, observed[:2], key=2)
+        assert chunk["hits_equal"] == 0 and chunk["misses"] == 2
+        assert cache.invalidations == 1
+
+    def test_matrix_identity_change_invalidates(self):
+        priors, matrix, observed = _toy_problem()
+        steady = np.repeat(priors[-1:], 2, axis=0)
+        cache = FactorizationCache()
+        cache.refine(priors, matrix, observed)
+        _, chunk = cache.refine(steady, matrix.copy(), observed[:2])
+        assert chunk["misses"] == 2
+
+    def test_stats_accumulate(self):
+        priors, matrix, observed = _toy_problem()
+        cache = FactorizationCache()
+        cache.refine(priors, matrix, observed)
+        cache.refine(np.repeat(priors[-1:], 4, axis=0), matrix, observed[:4])
+        stats = cache.stats()
+        assert stats["misses"] == priors.shape[0]
+        assert stats["hits_equal"] == 4
+        cache.invalidate()
+        assert cache.stats()["invalidations"] == 1
+
+
+# ---------------------------------------------------------------------------
+# the IPF solve cache: memoisation tiers and warm starts
+# ---------------------------------------------------------------------------
+
+def _ipf_problem(seed=11, t=5, n=6):
+    rng = np.random.default_rng(seed)
+    seeds = rng.gamma(2.0, 5.0, (t, n, n))
+    targets = rng.gamma(2.0, 5.0, (t, n, n))
+    return seeds, targets.sum(axis=2), targets.sum(axis=1)
+
+
+class TestIPFSolveCache:
+    def test_cold_fit_matches_direct_series(self):
+        seeds, rows, cols = _ipf_problem()
+        cache = IPFSolveCache()
+        solutions, chunk, counts = cache.fit(seeds, rows, cols)
+        direct = iterative_proportional_fitting_series(seeds, rows, cols)
+        np.testing.assert_array_equal(solutions, direct)
+        assert chunk["solved"] == seeds.shape[0]
+        assert counts.shape == (seeds.shape[0],) and np.all(counts >= 1)
+
+    def test_equal_tier_replay_is_bit_identical(self):
+        seeds, rows, cols = _ipf_problem()
+        cache = IPFSolveCache()
+        cache.fit(seeds, rows, cols)
+        steady = (np.repeat(seeds[-1:], 3, axis=0),
+                  np.repeat(rows[-1:], 3, axis=0),
+                  np.repeat(cols[-1:], 3, axis=0))
+        solutions, chunk, counts = cache.fit(*steady)
+        direct = iterative_proportional_fitting_series(*steady)
+        np.testing.assert_array_equal(solutions, direct)
+        assert chunk == {"hits_equal": 3, "hits_scaled": 0, "solved": 0}
+        assert counts.size == 0
+
+    def test_scaled_tier_rescales_the_cached_solution(self):
+        seeds, rows, cols = _ipf_problem(seed=2)
+        cache = IPFSolveCache()
+        cache.fit(seeds, rows, cols)
+        scales = np.array([0.25, 1.5, 4.0])
+        family = (scales[:, np.newaxis, np.newaxis] * seeds[-1],
+                  scales[:, np.newaxis] * rows[-1],
+                  scales[:, np.newaxis] * cols[-1])
+        solutions, chunk, _ = cache.fit(*family)
+        direct = iterative_proportional_fitting_series(*family)
+        assert chunk["hits_scaled"] == 3
+        assert _rel_diff(solutions, direct) <= 1e-10
+
+    def test_unsafe_base_disables_the_scaled_tier(self):
+        seeds, rows, cols = _ipf_problem(seed=4)
+        seeds[-1, 2, :] = 0.0  # empty-but-needed row: reseeding breaks scaling
+        assert rows[-1, 2] > 0
+        cache = IPFSolveCache()
+        cache.fit(seeds, rows, cols)
+        family = (2.0 * seeds[-1:], 2.0 * rows[-1:], 2.0 * cols[-1:])
+        _, chunk, _ = cache.fit(*family)
+        assert chunk["hits_scaled"] == 0 and chunk["solved"] == 1
+
+    def test_inconsistent_component_scales_fall_back_to_solve(self):
+        seeds, rows, cols = _ipf_problem(seed=6)
+        cache = IPFSolveCache()
+        cache.fit(seeds, rows, cols)
+        # Seed doubled but marginals tripled: no single family scale exists.
+        mixed = (2.0 * seeds[-1:], 3.0 * rows[-1:], 3.0 * cols[-1:])
+        _, chunk, _ = cache.fit(*mixed)
+        assert chunk["hits_scaled"] == 0 and chunk["solved"] == 1
+
+    def test_warm_start_changes_counts_not_fixed_points(self):
+        rng = np.random.default_rng(19)
+        seeds, rows, cols = _ipf_problem(seed=19, t=8)
+        # A slowly drifting family: consecutive bins are near-rescales, the
+        # regime where a warm start should pay.
+        for t in range(1, 8):
+            seeds[t] = seeds[0] * (1 + 0.01 * t)
+            rows[t] = rows[0] * (1 + 0.01 * t) * (1 + 1e-4 * rng.random(rows.shape[1]))
+            cols[t] = rows[t] * 0 + cols[0] * (1 + 0.01 * t)
+        cold = IPFSolveCache()
+        _, _, cold_counts = cold.fit(seeds, rows, cols)
+        warm = IPFSolveCache()
+        warm.fit(seeds[:1], rows[:1], cols[:1], warm_start=True)
+        warm_solutions, chunk, warm_counts = warm.fit(
+            seeds[1:], rows[1:], cols[1:], warm_start=True
+        )
+        direct = iterative_proportional_fitting_series(seeds[1:], rows[1:], cols[1:])
+        assert warm.warm_solved == chunk["solved"] > 0
+        # Warm and cold solves approximate the same fixed point but each
+        # stops at the convergence tolerance (1e-8), so they agree to
+        # tolerance level, not to machine precision.
+        assert _rel_diff(warm_solutions, direct) <= 1e-7
+        assert warm_counts.sum() <= cold_counts[1:].sum()
+
+    def test_warm_solves_never_anchor_the_memo_base(self):
+        seeds, rows, cols = _ipf_problem(seed=23)
+        cache = IPFSolveCache()
+        cache.fit(seeds[:1], rows[:1], cols[:1], warm_start=True)  # cold anchor
+        cache.fit(seeds[1:], rows[1:], cols[1:], warm_start=True)  # warm: no anchor
+        # A replay of the *first* bin must still hit the equal tier bitwise.
+        solutions, chunk, _ = cache.fit(seeds[:1], rows[:1], cols[:1], warm_start=True)
+        assert chunk["hits_equal"] == 1
+        direct = iterative_proportional_fitting_series(seeds[:1], rows[:1], cols[:1])
+        np.testing.assert_array_equal(solutions, direct)
+
+
+# ---------------------------------------------------------------------------
+# IPF instrumentation kwargs: inert by default, validated when used
+# ---------------------------------------------------------------------------
+
+class TestIPFInstrumentation:
+    def test_instrumented_default_path_is_bit_identical(self):
+        seeds, rows, cols = _ipf_problem(seed=31)
+        plain = iterative_proportional_fitting_series(seeds, rows, cols)
+        counts = np.zeros(seeds.shape[0], dtype=np.intp)
+        state: dict = {}
+        instrumented = iterative_proportional_fitting_series(
+            seeds, rows, cols, iteration_counts=counts, scale_state=state
+        )
+        np.testing.assert_array_equal(plain, instrumented)
+        assert np.all(counts >= 1)
+        assert state["row"].shape == rows.shape and state["col"].shape == cols.shape
+
+    def test_zero_total_bins_report_zero_iterations(self):
+        seeds, rows, cols = _ipf_problem(seed=37, t=3)
+        rows[1] = 0.0
+        cols[1] = 0.0
+        counts = np.zeros(3, dtype=np.intp)
+        iterative_proportional_fitting_series(seeds, rows, cols, iteration_counts=counts)
+        assert counts[1] == 0 and counts[0] >= 1 and counts[2] >= 1
+
+    def test_warm_scales_round_trip_through_scale_state(self):
+        seeds, rows, cols = _ipf_problem(seed=41, t=2)
+        state: dict = {}
+        first = iterative_proportional_fitting_series(
+            seeds[:1], rows[:1], cols[:1], scale_state=state
+        )
+        # Feeding a solve's own accumulated scales back as the warm start of
+        # the identical problem converges immediately to the same point.
+        counts = np.zeros(1, dtype=np.intp)
+        warm = iterative_proportional_fitting_series(
+            seeds[:1], rows[:1], cols[:1],
+            initial_row_scale=np.maximum(state["row"][:1], 1e-12),
+            initial_col_scale=np.maximum(state["col"][:1], 1e-12),
+            iteration_counts=counts,
+        )
+        assert _rel_diff(warm, first) <= 1e-8
+        assert counts[0] <= 3
+
+    def test_initial_scales_must_come_together(self):
+        seeds, rows, cols = _ipf_problem(t=2)
+        with pytest.raises(ValidationError, match="together"):
+            iterative_proportional_fitting_series(
+                seeds, rows, cols, initial_row_scale=np.ones_like(rows)
+            )
+
+    def test_initial_scale_shape_checked(self):
+        seeds, rows, cols = _ipf_problem(t=2)
+        with pytest.raises(ShapeError, match="initial scales"):
+            iterative_proportional_fitting_series(
+                seeds, rows, cols,
+                initial_row_scale=np.ones(3), initial_col_scale=np.ones_like(cols),
+            )
+
+    def test_initial_scales_must_be_positive_and_finite(self):
+        seeds, rows, cols = _ipf_problem(t=2)
+        bad = np.ones_like(rows)
+        bad[0, 0] = 0.0
+        with pytest.raises(ValidationError, match="strictly positive"):
+            iterative_proportional_fitting_series(
+                seeds, rows, cols, initial_row_scale=bad, initial_col_scale=np.ones_like(cols)
+            )
+        bad[0, 0] = np.inf
+        with pytest.raises(ValidationError, match="finite"):
+            iterative_proportional_fitting_series(
+                seeds, rows, cols, initial_row_scale=bad, initial_col_scale=np.ones_like(cols)
+            )
+
+    def test_iteration_counts_shape_checked(self):
+        seeds, rows, cols = _ipf_problem(t=2)
+        with pytest.raises(ShapeError, match="iteration_counts"):
+            iterative_proportional_fitting_series(
+                seeds, rows, cols, iteration_counts=np.zeros(5, dtype=np.intp)
+            )
+
+
+# ---------------------------------------------------------------------------
+# estimator-level equivalence: fast path on vs off
+# ---------------------------------------------------------------------------
+
+def _family_feed(topology, *, bins, scales=None, drift=0.0, seed=101):
+    """An exactly rescaled (or drifting) traffic cube + matching gravity prior."""
+    n = len(topology.nodes)
+    rng = np.random.default_rng(seed)
+    base = rng.gamma(2.0, 40.0, (n, n))
+    np.fill_diagonal(base, 0.0)
+    if scales is None:
+        scales = np.ones(bins)
+    cube = scales[:, np.newaxis, np.newaxis] * base
+    if drift:
+        shapes = 1 + drift * rng.standard_normal((bins, n, n))
+        cube = np.abs(cube * shapes)
+        np.fill_diagonal(cube.reshape(bins, n, n)[0], 0.0)
+        for t in range(bins):
+            np.fill_diagonal(cube[t], 0.0)
+    ingress = cube.sum(axis=2)
+    egress = cube.sum(axis=1)
+    total = ingress.sum(axis=1)
+    prior = ingress[:, :, np.newaxis] * egress[:, np.newaxis, :] / total[:, np.newaxis, np.newaxis]
+    for t in range(bins):
+        np.fill_diagonal(prior[t], 0.0)
+    return cube, prior
+
+
+def _stream_pair(topology, cube, prior, chunk):
+    stream = ArrayChunkStream(cube, topology.nodes, bin_seconds=300.0, chunk_bins=chunk)
+    system = simulate_link_loads_streaming(topology, stream)
+    prior_stream = ArrayChunkStream(
+        prior, topology.nodes, bin_seconds=300.0, chunk_bins=chunk
+    )
+    return system, prior_stream
+
+
+class TestEstimatorEquivalence:
+    @pytest.mark.parametrize("chunk", [4, 7])
+    def test_steady_feed_is_bit_identical(self, abilene, chunk):
+        cube, prior = _family_feed(abilene, bins=12)
+        system, prior_stream = _stream_pair(abilene, cube, prior, chunk)
+        fast = TMEstimator(fast_path=True).estimate_stream(
+            system, prior_stream, collect_estimate=True
+        )
+        system, prior_stream = _stream_pair(abilene, cube, prior, chunk)
+        slow = TMEstimator().estimate_stream(system, prior_stream, collect_estimate=True)
+        np.testing.assert_array_equal(fast.estimate.values, slow.estimate.values)
+
+    @pytest.mark.parametrize("chunk", [4, 7])
+    def test_scaled_feed_within_budget_and_hits_scaled_tier(self, abilene, chunk):
+        scales = 1.0 + 0.3 * np.sin(np.linspace(0.0, 2 * np.pi, 12, endpoint=False))
+        cube, prior = _family_feed(abilene, bins=12, scales=scales)
+        system, prior_stream = _stream_pair(abilene, cube, prior, chunk)
+        estimator = TMEstimator(fast_path=True)
+        fast = estimator.estimate_stream(system, prior_stream, collect_estimate=True)
+        system, prior_stream = _stream_pair(abilene, cube, prior, chunk)
+        slow = TMEstimator().estimate_stream(system, prior_stream, collect_estimate=True)
+        assert _rel_diff(fast.estimate.values, slow.estimate.values) <= 1e-10
+        stats = estimator.fast_path_stats()
+        assert stats["factor_cache"]["hits_scaled"] > 0
+
+    def test_drifting_feed_with_warm_off_is_bit_identical(self, abilene):
+        cube, prior = _family_feed(abilene, bins=8, drift=0.05)
+        system, prior_stream = _stream_pair(abilene, cube, prior, 4)
+        estimator = TMEstimator(fast_path=True, warm_start=False)
+        fast = estimator.estimate_stream(system, prior_stream, collect_estimate=True)
+        system, prior_stream = _stream_pair(abilene, cube, prior, 4)
+        slow = TMEstimator().estimate_stream(system, prior_stream, collect_estimate=True)
+        np.testing.assert_array_equal(fast.estimate.values, slow.estimate.values)
+        assert estimator.fast_path_stats()["factor_cache"]["misses"] > 0
+
+    def test_drifting_feed_with_warm_on_stays_within_budget(self, abilene):
+        cube, prior = _family_feed(abilene, bins=8, drift=0.05)
+        system, prior_stream = _stream_pair(abilene, cube, prior, 4)
+        fast = TMEstimator(fast_path=True).estimate_stream(
+            system, prior_stream, collect_estimate=True
+        )
+        system, prior_stream = _stream_pair(abilene, cube, prior, 4)
+        slow = TMEstimator().estimate_stream(system, prior_stream, collect_estimate=True)
+        # Convergence-tolerance-level budget: warm-started IPF solves stop
+        # at the same 1e-8 tolerance as cold ones but along another path.
+        assert _rel_diff(fast.estimate.values, slow.estimate.values) <= 1e-7
+
+    def test_batch_estimate_honours_fast_path(self, abilene):
+        cube, prior = _family_feed(abilene, bins=6)
+        stream = ArrayChunkStream(cube, abilene.nodes, bin_seconds=300.0, chunk_bins=6)
+        system = simulate_link_loads_streaming(abilene, stream)
+        from repro.core.traffic_matrix import TrafficMatrixSeries
+        prior_series = TrafficMatrixSeries(prior, abilene.nodes, bin_seconds=300.0)
+        fast = TMEstimator(fast_path=True).estimate(system, prior_series)
+        slow = TMEstimator().estimate(system, prior_series)
+        np.testing.assert_array_equal(fast.estimate.values, slow.estimate.values)
+
+    def test_warm_start_defaults_follow_fast_path(self):
+        assert TMEstimator(fast_path=True).warm_start_enabled
+        assert not TMEstimator(fast_path=True, warm_start=False).warm_start_enabled
+        assert not TMEstimator().fast_path_enabled
+        assert TMEstimator().fast_path_stats() is None
+
+    def test_invalidate_fast_path_drops_cache_state(self, abilene):
+        cube, prior = _family_feed(abilene, bins=4)
+        system, prior_stream = _stream_pair(abilene, cube, prior, 4)
+        estimator = TMEstimator(fast_path=True)
+        estimator.estimate_stream(system, prior_stream, collect_estimate=True)
+        estimator.invalidate_fast_path()
+        system, prior_stream = _stream_pair(abilene, cube, prior, 4)
+        estimator.estimate_stream(system, prior_stream, collect_estimate=True)
+        # The replay after invalidation re-anchors instead of hitting.
+        assert estimator.fast_path_stats()["factor_cache"]["misses"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# service-level equivalence, metrics, swap invalidation, checkpoint resume
+# ---------------------------------------------------------------------------
+
+def _served(tmp_path, topology, cube, *, estimator, tag, chunk=4, **service_kwargs):
+    sink = tmp_path / f"{tag}.jsonl"
+    stream = ArrayChunkStream(cube, topology.nodes, bin_seconds=300.0, chunk_bins=chunk)
+    service = IngestService(
+        SyntheticFlowSource(stream),
+        topology,
+        bin_seconds=300.0,
+        chunk_bins=chunk,
+        estimator=estimator,
+        sink=sink,
+        **service_kwargs,
+    )
+    status = service.run()
+    return sink, status
+
+
+class TestServiceFastPath:
+    def test_steady_feed_publishes_identical_jsonl(self, tmp_path, abilene):
+        cube, _ = _family_feed(abilene, bins=12)
+        fast_est = TMEstimator(fast_path=True)
+        fast_sink, fast_status = _served(
+            tmp_path, abilene, cube, estimator=fast_est, tag="fast"
+        )
+        slow_sink, _ = _served(tmp_path, abilene, cube, estimator=TMEstimator(), tag="slow")
+        assert _read_jsonl(fast_sink) == _read_jsonl(slow_sink)
+        stats = fast_est.fast_path_stats()
+        assert stats["factor_cache"]["hits_equal"] > 0
+        assert stats["ipf_cache"]["hits_equal"] > 0
+        assert fast_status.fast_path == stats
+
+    def test_scaled_feed_within_budget(self, tmp_path, abilene):
+        scales = 1.0 + 0.25 * np.sin(np.linspace(0.0, 2 * np.pi, 16, endpoint=False))
+        cube, _ = _family_feed(abilene, bins=16, scales=scales)
+        fast_est = TMEstimator(fast_path=True)
+        fast_sink, _ = _served(tmp_path, abilene, cube, estimator=fast_est, tag="fast")
+        slow_sink, _ = _served(tmp_path, abilene, cube, estimator=TMEstimator(), tag="slow")
+        fast = np.array([r["estimate"] for r in _read_jsonl(fast_sink)])
+        slow = np.array([r["estimate"] for r in _read_jsonl(slow_sink)])
+        assert _rel_diff(fast, slow) <= 1e-10
+        assert fast_est.fast_path_stats()["factor_cache"]["hits_scaled"] > 0
+
+    def test_status_snapshot_and_metrics_surface_cache_counters(self, tmp_path, abilene):
+        cube, _ = _family_feed(abilene, bins=8)
+        registry = MetricsRegistry()
+        fast_est = TMEstimator(fast_path=True)
+        _, status = _served(
+            tmp_path, abilene, cube, estimator=fast_est, tag="fast",
+            status_path=tmp_path / "status.json", metrics=registry,
+        )
+        snapshot = json.loads((tmp_path / "status.json").read_text())
+        section = snapshot["fast_path"]
+        assert section["enabled"] is True
+        assert section["factor_cache"]["hits_equal"] > 0
+        metrics = registry.snapshot()
+        hits = sum(v for k, v in metrics.items()
+                   if k.startswith("repro_estimate_factor_cache_hits"))
+        assert hits == section["factor_cache"]["hits_equal"] + section["factor_cache"]["hits_scaled"]
+        assert metrics['repro_estimate_factor_cache_misses'] == section["factor_cache"]["misses"]
+        assert any(k.startswith("repro_estimate_ipf_cache_hits") for k in metrics)
+
+    def test_slow_estimator_status_reports_disabled(self, tmp_path, abilene):
+        cube, _ = _family_feed(abilene, bins=4)
+        _, status = _served(
+            tmp_path, abilene, cube, estimator=TMEstimator(), tag="slow",
+            status_path=tmp_path / "status.json",
+        )
+        snapshot = json.loads((tmp_path / "status.json").read_text())
+        assert snapshot["fast_path"] == {"enabled": False}
+        assert status.to_dict()["fast_path"] == {"enabled": False}
+
+    @pytest.mark.parametrize("warm,budget", [(False, 0.0), (True, 1e-7)])
+    def test_mid_stream_prior_swap(self, tmp_path, warm, budget):
+        """A stable-fP re-fit swaps the prior mid-feed; the fast path must
+        invalidate atomically and track the slow path through the swap."""
+        data = open_dataset_stream("geant", n_weeks=1, bins_per_week=24, seed=23)
+        kwargs = dict(prior="stable_fp", refit_every=8, window_bins=16)
+        fast_est = TMEstimator(fast_path=True, warm_start=warm)
+        fast_sink = tmp_path / "fast.jsonl"
+        fast_status = IngestService(
+            SyntheticFlowSource(data.full_stream(chunk_bins=4)), data.topology,
+            bin_seconds=data.full_stream().bin_seconds, chunk_bins=4,
+            estimator=fast_est, sink=fast_sink, **kwargs,
+        ).run()
+        slow_sink = tmp_path / "slow.jsonl"
+        IngestService(
+            SyntheticFlowSource(data.full_stream(chunk_bins=4)), data.topology,
+            bin_seconds=data.full_stream().bin_seconds, chunk_bins=4,
+            estimator=TMEstimator(), sink=slow_sink, **kwargs,
+        ).run()
+        fast_records = _read_jsonl(fast_sink)
+        slow_records = _read_jsonl(slow_sink)
+        # The swap actually happened, and both runs saw the same one.
+        assert fast_status.refits >= 1
+        assert [r["prior_version"] for r in fast_records] == \
+               [r["prior_version"] for r in slow_records]
+        assert len({r["prior"] for r in fast_records}) == 2
+        if budget == 0.0:
+            assert fast_records == slow_records
+        else:
+            fast = np.array([r["estimate"] for r in fast_records])
+            slow = np.array([r["estimate"] for r in slow_records])
+            assert _rel_diff(fast, slow) <= budget
+
+    @pytest.mark.parametrize("warm,budget", [(False, 0.0), (True, 1e-7)])
+    def test_checkpoint_resume_matches_uninterrupted_fast_run(
+        self, tmp_path, abilene, warm, budget
+    ):
+        trace = "examples/sample_flows.csv"
+        common = dict(bin_seconds=300.0, chunk_bins=4)
+
+        full_sink = tmp_path / "full.jsonl"
+        IngestService(
+            FileReplaySource(trace, abilene.nodes), abilene, sink=full_sink,
+            estimator=TMEstimator(fast_path=True, warm_start=warm), **common,
+        ).run()
+
+        sink = tmp_path / "resumed.jsonl"
+        checkpoint = tmp_path / "checkpoint.json"
+        IngestService(
+            FileReplaySource(trace, abilene.nodes), abilene,
+            estimator=TMEstimator(fast_path=True, warm_start=warm),
+            sink=sink, checkpoint_path=checkpoint, max_bins=8, **common,
+        ).run()
+        IngestService(
+            FileReplaySource(trace, abilene.nodes), abilene,
+            estimator=TMEstimator(fast_path=True, warm_start=warm),
+            sink=sink, checkpoint_path=checkpoint, **common,
+        ).run()
+        if budget == 0.0:
+            assert _read_jsonl(sink) == _read_jsonl(full_sink)
+        else:
+            resumed = np.array([r["estimate"] for r in _read_jsonl(sink)])
+            full = np.array([r["estimate"] for r in _read_jsonl(full_sink)])
+            assert _rel_diff(resumed, full) <= budget
+
+    def test_fast_service_equals_slow_on_trace_replay(self, tmp_path, abilene):
+        """The CI smoke's dual replay in miniature: same trace, fast vs slow."""
+        trace = "examples/sample_flows.csv"
+        common = dict(bin_seconds=300.0, chunk_bins=4)
+        fast_sink = tmp_path / "fast.jsonl"
+        IngestService(
+            FileReplaySource(trace, abilene.nodes), abilene, sink=fast_sink,
+            estimator=TMEstimator(fast_path=True, warm_start=False), **common,
+        ).run()
+        slow_sink = tmp_path / "slow.jsonl"
+        IngestService(
+            FileReplaySource(trace, abilene.nodes), abilene, sink=slow_sink,
+            estimator=TMEstimator(), **common,
+        ).run()
+        assert _read_jsonl(fast_sink) == _read_jsonl(slow_sink)
+
+
+# ---------------------------------------------------------------------------
+# scenario plumbing
+# ---------------------------------------------------------------------------
+
+class TestScenarioFastPath:
+    def test_round_trips_through_dict(self):
+        scenario = Scenario(dataset="geant", prior="gravity", fast_path=True)
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+        assert scenario.validate() is scenario
+
+    def test_defaults_off(self):
+        assert Scenario(dataset="geant", prior="gravity").fast_path is False
+
+    def test_runner_threads_fast_path_through(self):
+        from repro.scenarios import run_scenario
+        base = Scenario(
+            dataset="geant", prior="gravity", bins_per_week=12, max_bins=12,
+            measurement_noise=0.0,
+        )
+        slow = run_scenario(base)
+        fast = run_scenario(base.replace(fast_path=True))
+        assert _rel_diff(fast.estimate.values, slow.estimate.values) <= 1e-10
